@@ -1,0 +1,49 @@
+"""E10 — Section VI closing remark: trading recompute for batch size.
+
+"On typical multi-threaded vector architectures, having a larger
+batch-size enables to increase the computational efficiency" — so
+checkpointing (which buys memory for bigger batches at ρ > 1) can reduce
+*total* epoch time.  This bench sweeps batch sizes on the ODROID model
+and asserts the crossover exists.
+"""
+
+from repro.edge import ODROID_XU4, TrainingWorkload
+from repro.experiments import batch_tradeoff, batch_tradeoff_table, memory_models
+from repro.zoo import build_resnet
+
+BATCHES = (1, 2, 4, 8, 16, 32)
+
+
+def _workload():
+    m = memory_models()[50]
+    return TrainingWorkload(
+        model="ResNet50",
+        chain_length=50,
+        slot_act_bytes_per_sample=m.account_ref.act_bytes_per_sample // 50,
+        fixed_bytes=m.fixed_bytes,
+        flops_per_sample=float(build_resnet(50).total_flops_per_sample()),
+        n_images=10_000,
+    )
+
+
+def test_batch_size_tradeoff(benchmark, outdir):
+    workload = _workload()
+    points = benchmark.pedantic(
+        lambda: batch_tradeoff(workload, ODROID_XU4, BATCHES), rounds=3, iterations=1
+    )
+    (outdir / "ablation_batch.txt").write_text(
+        batch_tradeoff_table(workload, ODROID_XU4, BATCHES).render()
+    )
+
+    by_batch = {p.batch_size: p for p in points}
+    # Large batches require checkpointing on the 2 GB node...
+    assert by_batch[32].rho > 1.0
+    assert by_batch[32].strategy == "revolve"
+    # ...but still finish the epoch faster than store-all batch 1.
+    assert by_batch[32].epoch_seconds < by_batch[1].epoch_seconds
+    # Epoch time is monotone improving across this sweep on this device.
+    times = [by_batch[k].epoch_seconds for k in BATCHES if k in by_batch]
+    assert times == sorted(times, reverse=True)
+    # Memory stays within the device everywhere.
+    for p in points:
+        assert p.memory_mb <= ODROID_XU4.mem_bytes / (1024 * 1024) + 1

@@ -1,0 +1,79 @@
+"""E23 (extension) — gradient accumulation vs checkpointing.
+
+Accumulation is the practitioner's usual answer to activation memory:
+shrink the micro-batch, sum gradients.  This bench trains the same net
+four ways (full-batch store-all, micro-batched, Revolve-checkpointed,
+both combined) and records measured peak live bytes and the loss
+trajectory — identical across all four (no BatchNorm; exact
+recombination), which is the point: these are *memory* knobs, not
+optimization changes, and they compose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    DenseLayer,
+    Momentum,
+    ReLULayer,
+    SequentialNet,
+    Trainer,
+    TrainerConfig,
+    gaussian_blobs,
+)
+
+DEPTH = 10
+WIDTH = 96
+BATCH = 64
+
+CONFIGS = {
+    "full": TrainerConfig(epochs=3, batch_size=BATCH),
+    "micro8": TrainerConfig(epochs=3, batch_size=BATCH, micro_batch_size=8),
+    "revolve": TrainerConfig(epochs=3, batch_size=BATCH, rho=2.0),
+    "micro8+revolve": TrainerConfig(
+        epochs=3, batch_size=BATCH, micro_batch_size=8, rho=2.0
+    ),
+}
+
+
+def _net(seed=1):
+    rng = np.random.default_rng(seed)
+    layers = []
+    prev = 8
+    for i in range(DEPTH - 1):
+        layers.append(DenseLayer(prev, WIDTH, rng, name=f"fc{i}"))
+        layers.append(ReLULayer(name=f"r{i}"))
+        prev = WIDTH
+    layers.append(DenseLayer(prev, 3, rng, name="head"))
+    return SequentialNet(layers)
+
+
+def _run_all():
+    data = gaussian_blobs(80, 3, 8, np.random.default_rng(0), spread=0.8, separation=5.0)
+    out = {}
+    for name, cfg in CONFIGS.items():
+        net = _net()
+        t = Trainer(net, Momentum(net.layers, lr=0.005), cfg)
+        t.fit(data)
+        out[name] = (t.peak_bytes, [r.mean_loss for r in t.history])
+    return out
+
+
+def test_accumulation_vs_checkpointing(benchmark, outdir):
+    results = benchmark.pedantic(_run_all, rounds=3, iterations=1)
+
+    lines = ["strategy,peak_bytes,final_loss"]
+    for name, (peak, losses) in results.items():
+        lines.append(f"{name},{peak},{losses[-1]:.6f}")
+    (outdir / "accumulation.csv").write_text("\n".join(lines) + "\n")
+
+    peaks = {k: v[0] for k, v in results.items()}
+    losses = {k: v[1] for k, v in results.items()}
+    # All four follow identical loss trajectories.
+    for name in ("micro8", "revolve", "micro8+revolve"):
+        assert losses[name] == pytest.approx(losses["full"], rel=1e-9)
+        assert losses[name][-1] < losses[name][0]
+    # Each lever reduces peak memory; combining reduces it most.
+    assert peaks["micro8"] < peaks["full"]
+    assert peaks["revolve"] < peaks["full"]
+    assert peaks["micro8+revolve"] == min(peaks.values())

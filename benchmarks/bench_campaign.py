@@ -1,0 +1,58 @@
+"""E16 (extension) — the full in-situ campaign: crossings to adapted model.
+
+Sections II+III operationalized: subjects cross daily, confident tracks
+are harvested to the SD card, and the student trains only in idle CPU
+windows.  The bench sweeps traffic levels on the ODROID model, writes the
+days-to-target table, and asserts the qualitative behaviour (more
+traffic → faster adaptation; wall time ≥ compute time; storage trivial).
+"""
+
+from repro.edge import CampaignConfig, ODROID_XU4, TrainingWorkload, run_campaign
+from repro.units import MB
+
+TRAFFIC = (20.0, 60.0, 200.0)
+
+
+def _workload():
+    return TrainingWorkload(
+        model="student",
+        chain_length=18,
+        slot_act_bytes_per_sample=2 * MB,
+        fixed_bytes=180 * MB,
+        flops_per_sample=3.6e9,
+        n_images=1,
+        batch_size=8,
+    )
+
+
+def _sweep():
+    out = {}
+    for traffic in TRAFFIC:
+        cfg = CampaignConfig(
+            workload=_workload(),
+            target_accuracy=0.9,
+            crossings_per_day=traffic,
+            seed=1,
+        )
+        out[traffic] = run_campaign(cfg, ODROID_XU4)
+    return out
+
+
+def test_campaign_sweep(benchmark, outdir):
+    results = benchmark.pedantic(_sweep, rounds=3, iterations=1)
+
+    lines = ["crossings_per_day,days_to_target,harvested,train_hours,storage_mb"]
+    for traffic, res in sorted(results.items()):
+        lines.append(
+            f"{traffic},{res.target_day},{res.days[-1].harvested_total},"
+            f"{res.total_train_hours:.1f},{res.storage_bytes / MB:.1f}"
+        )
+    (outdir / "campaign.txt").write_text("\n".join(lines) + "\n")
+
+    days = [results[t].target_day for t in TRAFFIC]
+    assert all(res.reached_target for res in results.values())
+    assert days == sorted(days, reverse=True)  # more traffic, faster
+    for res in results.values():
+        assert res.storage_ok
+        for day in res.days:
+            assert day.train_wall_s >= day.train_compute_s

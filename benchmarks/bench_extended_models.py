@@ -1,0 +1,26 @@
+"""E19 (extension) — the framework beyond ResNets.
+
+Runs MobileNetV2 (edge-native) and VGG-16 (weight-heavy) through the same
+account→plan pipeline as the paper's ResNets and asserts the
+architecture-generic conclusions recorded in EXPERIMENTS.md.
+"""
+
+import math
+
+from repro.experiments import extended_model_rows, extended_model_table
+
+
+def test_extended_models(benchmark, outdir):
+    rows = benchmark.pedantic(extended_model_rows, rounds=3, iterations=1)
+    (outdir / "extended_models.txt").write_text(extended_model_table().render())
+
+    by = {(r.model, r.batch_size): r for r in rows}
+    # VGG-16 cannot train on 2 GB at all (fixed cost > budget).
+    assert all(math.isinf(by[("VGG16", k)].rho) for k in (1, 8, 32, 64))
+    # MobileNetV2: 3.3x fewer params than R18, >2x the activations,
+    # and needs Revolve from batch 32.
+    assert by[("MobileNetV2", 1)].weight_mb < by[("ResNet18", 1)].weight_mb / 3
+    assert by[("MobileNetV2", 32)].strategy == "revolve"
+    assert by[("MobileNetV2", 64)].rho < 1.5
+    # ResNet-18 crosses into checkpointing territory at batch 64.
+    assert by[("ResNet18", 64)].strategy == "revolve"

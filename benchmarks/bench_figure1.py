@@ -1,0 +1,59 @@
+"""E5-E8 — Figure 1 (panels a-d): peak memory vs recompute factor.
+
+For each panel this regenerates all five LinearResNet curves from both
+coefficient sources, writes CSV + ASCII artifacts, asserts the paper's
+headline crossings against the 2 GB budget, and benchmarks the panel
+generation (Revolve binary searches across the whole ρ grid).
+"""
+
+import pytest
+
+from repro.experiments import PANELS, figure1_ascii, figure1_panel
+from repro.units import GB, MB
+
+
+def _write(outdir, panel, source, series):
+    lines = ["model,rho,memory_mb"]
+    for s in series:
+        for rho, b in s.points:
+            lines.append(f"{s.name},{rho:.4f},{b / MB:.2f}")
+    (outdir / f"figure1_{panel}_{source}.csv").write_text("\n".join(lines) + "\n")
+    (outdir / f"figure1_{panel}_{source}.txt").write_text(figure1_ascii(panel, source))
+
+
+@pytest.mark.parametrize("panel", sorted(PANELS))
+def test_figure1_panel(panel, benchmark, outdir):
+    series = benchmark.pedantic(lambda: figure1_panel(panel, "paper"), rounds=3, iterations=1)
+    _write(outdir, panel, "paper", series)
+    _write(outdir, panel, "ours", figure1_panel(panel, "ours"))
+
+    by_depth = {s.depth: s for s in series}
+    # Monotone: more recompute never needs more memory.
+    for s in series:
+        mems = [b for _, b in s.points]
+        assert mems == sorted(mems, reverse=True)
+
+    batch, image = PANELS[panel]
+    if panel == "a":
+        # Batch 1 @ 224: everything fits already at rho = 1 (paper: "all
+        # models and activations fit into the 2GB limit only if the image
+        # size is 224").
+        assert all(s.memory_at(1.0) <= 2 * GB for s in series)
+    if panel == "b":
+        # Batch 8 @ 224: R50+ exceed 2 GB at rho=1; all fit by rho 1.6.
+        for d in (50, 101, 152):
+            assert by_depth[d].memory_at(1.0) > 2 * GB
+        for d in by_depth:
+            assert by_depth[d].min_rho_under(2 * GB) <= 1.6
+    if panel == "c":
+        # Batch 1 @ 500: memory too limited at rho=1 for the big models,
+        # recoverable with moderate recompute.
+        assert by_depth[152].memory_at(1.0) > 2 * GB
+        assert all(s.min_rho_under(2 * GB) is not None for s in series)
+    if panel == "d":
+        # Batch 8 @ 500: the hardest panel; even R18 over 2 GB at rho=1
+        # ("even ResNet18 does not fit"), all models in by rho <= 2.0
+        # (paper reports ~1.6 under its unspecified slot accounting; see
+        # EXPERIMENTS.md for the delta).
+        assert all(s.memory_at(1.0) > 2 * GB for s in series)
+        assert all(s.min_rho_under(2 * GB) <= 2.0 for s in series)

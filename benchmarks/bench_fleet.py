@@ -1,0 +1,52 @@
+"""E20 (extension) — fleet: is cross-node model exchange worth it?
+
+Section I cautions that shuttling model updates between nodes "might
+introduce excessive communication"; Section III adds that viewpoint-
+specialized knowledge transfers poorly.  This bench prices federation
+for a 10-node fleet across transfer-value assumptions and writes the
+accuracy-vs-radio table.
+"""
+
+from repro.edge import FleetConfig, simulate_fleet
+from repro.units import GB
+
+SCENARIOS = {
+    "isolated": dict(federation_period=0),
+    "fed_lowtransfer": dict(federation_period=5, transfer_value=0.15),
+    "fed_hightransfer": dict(federation_period=5, transfer_value=0.6),
+}
+
+
+def _sweep():
+    out = {}
+    for name, kw in SCENARIOS.items():
+        out[name] = simulate_fleet(
+            FleetConfig(n_nodes=10, days=30, crossings_per_day_mean=40.0, seed=4, **kw)
+        )
+    return out
+
+
+def test_fleet_federation_tradeoff(benchmark, outdir):
+    results = benchmark.pedantic(_sweep, rounds=3, iterations=1)
+
+    lines = ["scenario,mean_acc,worst_acc,radio_gb"]
+    for name, res in results.items():
+        lines.append(
+            f"{name},{res.mean_final_accuracy:.4f},{res.worst_final_accuracy:.4f},"
+            f"{res.radio_bytes_total / GB:.2f}"
+        )
+    (outdir / "fleet.csv").write_text("\n".join(lines) + "\n")
+
+    iso = results["isolated"]
+    low = results["fed_lowtransfer"]
+    high = results["fed_hightransfer"]
+    # Federation costs real bandwidth...
+    assert iso.radio_bytes_total == 0
+    assert low.radio_bytes_total > GB
+    # ...helps in proportion to how transferable the knowledge is...
+    assert high.mean_final_accuracy >= low.mean_final_accuracy >= iso.mean_final_accuracy
+    # ...and at low (viewpoint-specific) transfer value the mean gain is
+    # marginal — the paper's caution, quantified.
+    gain_low = low.mean_final_accuracy - iso.mean_final_accuracy
+    gain_high = high.mean_final_accuracy - iso.mean_final_accuracy
+    assert gain_low < 0.5 * max(gain_high, 1e-9) or gain_low < 0.05

@@ -1,0 +1,62 @@
+"""E13 — the planner itself is cheap (the paper's poly-time claim).
+
+Revolve's closed form answers 'minimal slots for ρ' in microseconds even
+for chains far deeper than any ResNet; the schedule generator stays
+near-linear in the action count.  This bench pins both costs.
+"""
+
+from repro.checkpointing import (
+    min_slots_for_extra,
+    opt_forwards,
+    revolve_schedule,
+    simulate,
+    slots_for_rho,
+)
+
+
+def test_closed_form_scaling(benchmark):
+    """P(l, c) via the binomial closed form across a wide (l, c) grid."""
+
+    def sweep():
+        total = 0
+        for l in (152, 1_000, 10_000, 100_000):
+            for c in (1, 2, 5, 10, 20, 50):
+                total += opt_forwards(l, c)
+        return total
+
+    assert benchmark(sweep) > 0
+
+
+def test_slot_search_scaling(benchmark):
+    """Binary search for minimal slots at many ρ targets, deep chain."""
+
+    def sweep():
+        out = []
+        for l in (152, 2_000, 20_000):
+            for rho in (1.05, 1.1, 1.25, 1.5, 2.0, 3.0):
+                out.append(slots_for_rho(l, rho))
+        return out
+
+    slots = benchmark(sweep)
+    assert all(s >= 1 for s in slots)
+
+
+def test_schedule_generation_scaling(benchmark):
+    """Generate + validate the full action sequence for a deep chain."""
+
+    def gen():
+        sch = revolve_schedule(500, 8)
+        stats = simulate(sch)
+        return stats.forward_steps
+
+    fwd = benchmark(gen)
+    assert fwd == opt_forwards(500, 8)
+
+
+def test_min_slots_budget_boundaries(benchmark):
+    def sweep():
+        return [min_slots_for_extra(10_000, budget) for budget in (0, 10, 10_000, 10**6)]
+
+    vals = benchmark(sweep)
+    assert vals[0] == 9_999  # zero budget => store-all
+    assert vals == sorted(vals, reverse=True)

@@ -1,0 +1,31 @@
+"""E4 — Section V: the checkpoint_sequential formula and its 2√l bound.
+
+Regenerates the Mem(l, s) sweep, validates every cell by executing the
+uniform schedule on the virtual machine, and benchmarks that validation
+(schedule generation + simulation across the whole sweep).
+"""
+
+import math
+
+from repro.checkpointing import uniform_lower_bound, uniform_memory_slots
+from repro.experiments import section5_sweep, section5_table
+from repro.zoo import RESNET_DEPTHS
+
+
+def _sweep():
+    return section5_sweep(lengths=RESNET_DEPTHS, max_segments=16)
+
+
+def test_section5_formula_vs_execution(benchmark, outdir):
+    rows = benchmark.pedantic(_sweep, rounds=3, iterations=1)
+
+    (outdir / "section5.txt").write_text(section5_table().render())
+
+    # Formula == executed peak for every (l, s).
+    assert all(r.consistent for r in rows)
+
+    # The 2·sqrt(l) lower bound: no s gets below it (modulo integer slack).
+    for l in RESNET_DEPTHS:
+        best = min(uniform_memory_slots(l, s) for s in range(1, l + 1))
+        assert best >= uniform_lower_bound(l) - 2.0
+        assert best <= uniform_lower_bound(l) + math.sqrt(l)

@@ -1,0 +1,37 @@
+"""E17 (analysis) — convention sensitivity of the Figure 1 crossovers.
+
+Explains the one quantitative delta from the paper (Figure 1d's ρ ≈ 1.6
+claim): sweeping the backward/forward cost ratio and the in-flight slot
+charge shows the paper's number emerges at bwd = 2×fwd, while our default
+(bwd = fwd, the literal "2ρl" reading) gives 2.0 for ResNet-152.
+"""
+
+from repro.experiments import fit_rho, sensitivity_sweep, sensitivity_table
+from repro.units import GB
+
+
+def test_sensitivity_sweep(benchmark, outdir):
+    points = benchmark.pedantic(sensitivity_sweep, rounds=3, iterations=1)
+    (outdir / "sensitivity.txt").write_text(sensitivity_table().render())
+
+    assert points
+    # Every convention keeps the crossovers inside the paper's plotted
+    # rho range [1, 3] for all models.
+    assert all(p.fit_rho is not None and p.fit_rho <= 3.0 for p in points)
+    # The paper's 1.6 claim is recovered under bwd=2 fwd.
+    r152 = {
+        (p.bwd_ratio, p.inflight_slots): p.fit_rho
+        for p in points
+        if p.depth == 152
+    }
+    assert r152[(2.0, 1)] <= 1.65
+    # And the literal 2-rho-l reading gives our reported 2.0.
+    assert r152[(1.0, 1)] == 2.0
+    # Conventions never change model ordering.
+    for ratio in (0.5, 1.0, 2.0):
+        for w in (0, 1):
+            rhos = [
+                p.fit_rho for p in sorted(points, key=lambda q: q.depth)
+                if p.bwd_ratio == ratio and p.inflight_slots == w
+            ]
+            assert rhos == sorted(rhos)

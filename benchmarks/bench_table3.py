@@ -1,0 +1,31 @@
+"""E3 — Table III: memory (GB) vs image size at batch 8.
+
+The paper's point: at batch 8 "one cannot use a neural network with more
+than 50 layers even for the smallest possible image size".
+"""
+
+from repro.experiments import table3
+from repro.memory import PAPER_TABLE3_GB
+
+
+def test_table3_regeneration(benchmark, outdir):
+    result = benchmark.pedantic(lambda: table3("ours"), rounds=3, iterations=1)
+    paper = table3("paper")
+
+    (outdir / "table3_ours.txt").write_text(result.as_table().render())
+    (outdir / "table3_paper.txt").write_text(paper.as_table().render())
+
+    for s, row in PAPER_TABLE3_GB.items():
+        for depth, gb in row.items():
+            assert abs(paper.value(s, depth) - gb) < max(0.03 * gb, 0.03)
+
+    # Paper headline at 224/batch 8: R18 and R34 fit, deeper models don't.
+    assert not paper.exceeds_budget(224, 18)
+    assert not paper.exceeds_budget(224, 34)
+    for d in (50, 101, 152):
+        assert paper.exceeds_budget(224, d)
+    # Ours reproduces the same frontier.
+    assert not result.exceeds_budget(224, 18)
+    assert not result.exceeds_budget(224, 34)
+    for d in (101, 152):
+        assert result.exceeds_budget(224, d)

@@ -1,0 +1,16 @@
+"""Shared benchmark utilities: artifact output directory."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def outdir() -> pathlib.Path:
+    """Directory where benchmarks drop their regenerated artifacts."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR

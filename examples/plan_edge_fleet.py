@@ -1,0 +1,57 @@
+"""Fleet planning: which models can each edge device train, and how?
+
+Sweeps the device catalog x the ResNet zoo and prints, per (device,
+model, batch): the chosen strategy, checkpoint slots, recompute factor,
+and the epoch time including the batch-efficiency effect — the decision
+table an Array-of-Things operator would actually want.
+
+Run: ``python examples/plan_edge_fleet.py``
+"""
+
+from repro.edge import DEVICE_CATALOG, TrainingWorkload, estimate_epoch
+from repro.errors import MemoryBudgetError
+from repro.experiments import memory_models
+from repro.units import MB
+from repro.zoo import RESNET_DEPTHS, build_resnet
+
+
+def main() -> None:
+    header = (
+        f"{'device':<14}{'model':<10}{'batch':>5}  {'strategy':<10}"
+        f"{'slots':>5}{'rho':>7}{'mem(MB)':>9}{'epoch(h)':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    models = memory_models()
+    flops = {d: float(build_resnet(d).total_flops_per_sample()) for d in RESNET_DEPTHS}
+    for device in DEVICE_CATALOG.values():
+        for depth in RESNET_DEPTHS:
+            m = models[depth]
+            for batch in (1, 8):
+                workload = TrainingWorkload(
+                    model=f"ResNet{depth}",
+                    chain_length=depth,
+                    slot_act_bytes_per_sample=m.account_ref.act_bytes_per_sample // depth,
+                    fixed_bytes=m.fixed_bytes,
+                    flops_per_sample=flops[depth],
+                    n_images=10_000,
+                    batch_size=batch,
+                )
+                try:
+                    est = estimate_epoch(workload, device)
+                except MemoryBudgetError:
+                    print(
+                        f"{device.name:<14}ResNet{depth:<4}{batch:>5}  "
+                        f"{'IMPOSSIBLE':<10}{'-':>5}{'-':>7}{'-':>9}{'-':>10}"
+                    )
+                    continue
+                print(
+                    f"{device.name:<14}ResNet{depth:<4}{batch:>5}  "
+                    f"{est.plan.strategy:<10}{est.plan.slots:>5}"
+                    f"{est.plan.rho:>7.3f}{est.plan.memory_bytes / MB:>9.0f}"
+                    f"{est.epoch_seconds / 3600:>10.2f}"
+                )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: can ResNet-101 train on a 2 GB edge node? At what cost?
+
+Walks the library end to end in ~30 lines of API:
+1. build the model symbolically and account its training memory;
+2. see that batch 8 does not fit the ODROID's 2 GB;
+3. let the planner pick the optimal Revolve checkpoint count;
+4. generate and execute the schedule on the virtual machine to verify
+   the plan's cost and peak memory.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.checkpointing import (
+    ChainSpec,
+    plan_training,
+    revolve_schedule,
+    simulate,
+)
+from repro.edge import ODROID_XU4
+from repro.graph import homogenize
+from repro.memory import account
+from repro.units import MB, humanize_bytes
+from repro.zoo import resnet101
+
+
+def main() -> None:
+    batch = 8
+
+    # 1. Symbolic model + memory accounting (the paper's Tables I-III).
+    net = resnet101()
+    acct = account(net)
+    store_all = acct.total_bytes(batch)
+    print(f"ResNet-101, batch {batch}:")
+    print(f"  weights (1 copy)      : {humanize_bytes(acct.weight_bytes)}")
+    print(f"  fixed (4 copies+bufs) : {humanize_bytes(acct.fixed_bytes)}")
+    print(f"  activations / sample  : {humanize_bytes(acct.act_bytes_per_sample)}")
+    print(f"  store-all training    : {humanize_bytes(store_all)}")
+
+    # 2. Does it fit the paper's device?
+    device = ODROID_XU4
+    fits = store_all <= device.mem_bytes
+    print(f"  fits {device.name} ({humanize_bytes(device.mem_bytes)})? {fits}")
+
+    # 3. Homogenize to the paper's LinearResNet-101 and plan checkpointing.
+    chain = homogenize(net, depth=101)
+    plan = plan_training(
+        l=chain.length,
+        fixed_bytes=acct.fixed_bytes,
+        slot_bytes=batch * chain.act_bytes,
+        budget_bytes=device.mem_bytes,
+        model="LinearResNet101",
+    )
+    print(f"\nPlan: {plan.strategy} with {plan.slots} checkpoint slots")
+    print(f"  peak memory : {plan.memory_bytes / MB:.0f} MB (budget {device.mem_bytes / MB:.0f} MB)")
+    print(f"  recompute   : rho = {plan.rho:.3f} (store-all would need {plan.store_all_bytes / MB:.0f} MB)")
+    if plan.uniform_rho is not None:
+        print(f"  PyTorch checkpoint_sequential at equal memory: rho = {plan.uniform_rho:.3f}")
+
+    # 4. Materialize + execute the schedule; verify the planner's numbers.
+    schedule = revolve_schedule(chain.length, plan.slots)
+    spec = ChainSpec.from_linear_chain(chain)
+    stats = simulate(schedule, spec)
+    print(f"\nExecuted schedule: {len(schedule)} actions")
+    print(f"  pure forward steps : {stats.forward_steps} (extra {stats.extra_forward_steps()})")
+    print(f"  measured rho       : {stats.recompute_factor(spec):.3f}")
+    print(f"  peak slots         : {stats.peak_slots} (<= {plan.slots})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Regenerate the paper's Figure 1 (all four panels) as ASCII plots + CSV.
+
+Each panel plots peak training memory against the recompute factor ρ for
+LinearResNet-{18,34,50,101,152}, with the 2 GB device budget marked.
+Panel (b) reproduces the paper's headline observation: at ρ = 1 only
+ResNet-18/34 fit 2 GB at batch 8, while by ρ ≈ 1.5-1.6 *every* model
+fits.
+
+Run: ``python examples/reproduce_figure1.py [--source ours|paper]``
+CSV files are written next to this script as figure1_<panel>.csv.
+"""
+
+import argparse
+import pathlib
+
+from repro.experiments import PANELS, figure1_ascii, figure1_panel
+from repro.units import GB, MB
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--source", choices=("ours", "paper"), default="paper")
+    parser.add_argument("--outdir", default=str(pathlib.Path(__file__).parent))
+    args = parser.parse_args()
+
+    outdir = pathlib.Path(args.outdir)
+    for panel in sorted(PANELS):
+        print(figure1_ascii(panel, args.source))
+        series = figure1_panel(panel, args.source)
+        lines = ["model,rho,memory_mb"]
+        for s in series:
+            for rho, b in s.points:
+                lines.append(f"{s.name},{rho:.4f},{b / MB:.2f}")
+        path = outdir / f"figure1_{panel}.csv"
+        path.write_text("\n".join(lines) + "\n")
+        print(f"wrote {path}")
+
+        # Headline numbers: the rho at which each model first fits 2 GB.
+        for s in series:
+            rho_fit = s.min_rho_under(2 * GB)
+            status = f"fits 2GB from rho >= {rho_fit:.2f}" if rho_fit else "never fits 2GB in [1,3]"
+            print(f"  {s.name:<16} {status}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Section III end to end: fixing the viewpoint problem in-situ.
+
+A frontal-trained "teacher" collapses at skewed camera angles.  The node
+watches subjects cross its frame, tracks them, propagates the teacher's
+confident near-frontal identifications backwards along each track, and
+trains a "student" on the harvested, auto-labelled data — no training
+data ever shipped to the node.  The student recovers almost all the
+skew-angle accuracy, and its training runs under a checkpoint schedule as
+it would on the 2 GB Waggle node.
+
+Run: ``python examples/viewpoint_adaptation.py``
+"""
+
+from repro.edge import ODROID_XU4, ImageStore
+from repro.studentteacher import PipelineConfig, StudentConfig, run_pipeline
+from repro.units import humanize_bytes
+
+
+def main() -> None:
+    cfg = PipelineConfig(
+        num_classes=5,
+        n_subjects=120,
+        camera_skew_deg=60.0,
+        angle_bins=(15.0, 30.0, 45.0, 60.0),
+        # rho=1.5: train the student under a Revolve schedule, as a
+        # memory-limited node would.
+        student=StudentConfig(epochs=30, rho=1.5),
+        seed=0,
+    )
+    res = run_pipeline(cfg)
+
+    print("In-situ student-teacher adaptation (viewpoint problem)")
+    print("=" * 56)
+    print(res.summary())
+    print()
+    print(f"accuracy recovered at the most skewed bin: {res.skew_recovery:+.3f}")
+    print(f"student peak training memory (checkpointed): {humanize_bytes(res.student.peak_bytes)}")
+
+    # The paper's storage argument: harvested images at ~10 kB each.
+    store = ImageStore(capacity_bytes=ODROID_XU4.storage_bytes)
+    n = len(res.harvest)
+    print(
+        f"\nstorage: {n} harvested images -> {humanize_bytes(store.dataset_bytes(n))} "
+        f"of {humanize_bytes(store.capacity_bytes)} SD "
+        f"(node could hold {store.max_images:,} images)"
+    )
+    print(
+        f"paper's example: 100,000 images -> "
+        f"{humanize_bytes(store.dataset_bytes(100_000))} at 10 kB/image"
+    )
+
+
+if __name__ == "__main__":
+    main()

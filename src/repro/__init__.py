@@ -1,0 +1,58 @@
+"""repro — Training on the Edge: the why and the how.
+
+A from-scratch reproduction of Kukreja, Shilova, Beaumont, Hückelheim,
+Ferrier, Hovland & Gorman (IPPS 2019): optimal (binomial/Revolve)
+checkpointing for memory-constrained training on edge devices, plus the
+in-situ student-teacher pipeline that motivates it.
+
+Quick tour
+----------
+>>> from repro import zoo, memory, checkpointing, experiments
+>>> net = zoo.resnet50()
+>>> acct = memory.account(net)                       # Tables I-III substrate
+>>> plan = checkpointing.plan_training(              # Figure 1 substrate
+...     l=50, fixed_bytes=acct.fixed_bytes,
+...     slot_bytes=8 * acct.act_bytes_per_sample // 50,
+...     budget_bytes=2 * 1024**3)
+>>> print(experiments.figure1_ascii("b"))            # the paper's Figure 1b
+
+Subpackages
+-----------
+``graph``          symbolic layer-graph IR (shape/param/FLOP inference)
+``zoo``            ResNet-18/34/50/101/152, VGG, small test models
+``memory``         accounting policies, scaling laws, paper calibration
+``checkpointing``  Revolve, uniform, √l, heterogeneous DPs, planner
+``autodiff``       real NumPy training with schedule-driven backprop
+``edge``           device catalog, storage, epoch-time & duty-cycle sim
+``studentteacher`` viewpoint world, teacher, tracker, harvesting, student
+``experiments``    regenerators for every table and figure in the paper
+"""
+
+from . import (
+    autodiff,
+    checkpointing,
+    edge,
+    errors,
+    experiments,
+    graph,
+    memory,
+    studentteacher,
+    units,
+    zoo,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graph",
+    "zoo",
+    "memory",
+    "checkpointing",
+    "autodiff",
+    "edge",
+    "studentteacher",
+    "experiments",
+    "units",
+    "errors",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — regenerate the paper's artifacts from the CLI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

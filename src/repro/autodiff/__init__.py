@@ -1,0 +1,71 @@
+"""NumPy training substrate with schedule-driven (checkpointed) backprop."""
+
+from .ops import (
+    col2im,
+    conv2d_backward,
+    conv2d_forward,
+    im2col,
+    maxpool2d_backward,
+    maxpool2d_forward,
+)
+from .layers import (
+    BatchNormLayer,
+    ConvLayer,
+    DenseLayer,
+    FlattenLayer,
+    MaxPoolLayer,
+    ReLULayer,
+    TrainLayer,
+    param_bytes,
+)
+from .blocks import AvgPoolLayer, DropoutLayer, ResidualBlockLayer
+from .loss import accuracy, mse_loss, softmax, softmax_cross_entropy
+from .optim import SGD, Adam, Momentum, Optimizer
+from .network import SequentialNet
+from .executor import CheckpointedResult, run_schedule
+from .rnn import RNNStepLayer, UnrolledRNN
+from .trainer import EpochRecord, Trainer, TrainerConfig
+from .meter import MemoryMeter
+from .data import Dataset, batches, gaussian_blobs, image_blobs, spirals
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "TrainLayer",
+    "DenseLayer",
+    "ReLULayer",
+    "ConvLayer",
+    "MaxPoolLayer",
+    "FlattenLayer",
+    "BatchNormLayer",
+    "ResidualBlockLayer",
+    "AvgPoolLayer",
+    "DropoutLayer",
+    "param_bytes",
+    "softmax",
+    "softmax_cross_entropy",
+    "mse_loss",
+    "accuracy",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "SequentialNet",
+    "CheckpointedResult",
+    "run_schedule",
+    "Trainer",
+    "TrainerConfig",
+    "EpochRecord",
+    "RNNStepLayer",
+    "UnrolledRNN",
+    "MemoryMeter",
+    "Dataset",
+    "gaussian_blobs",
+    "spirals",
+    "image_blobs",
+    "batches",
+]

@@ -1,0 +1,41 @@
+"""Live-byte high-water-mark meter for the checkpointed executor.
+
+Tracks named allocations (checkpoint slots, the cursor activation, the
+flowing gradient) and records the peak of their sum — the measured analog
+of the simulator's analytic ``peak_bytes``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MemoryMeter"]
+
+
+class MemoryMeter:
+    """Names → byte counts with a running peak."""
+
+    def __init__(self) -> None:
+        self._live: dict[str, int] = {}
+        self.peak_bytes: int = 0
+        self.current_bytes: int = 0
+
+    def hold(self, name: str, array: np.ndarray | None) -> None:
+        """Register (or replace) a named allocation."""
+        self.release(name)
+        if array is not None:
+            n = int(array.nbytes)
+            self._live[name] = n
+            self.current_bytes += n
+            if self.current_bytes > self.peak_bytes:
+                self.peak_bytes = self.current_bytes
+
+    def release(self, name: str) -> None:
+        """Drop a named allocation (no-op when absent)."""
+        n = self._live.pop(name, None)
+        if n is not None:
+            self.current_bytes -= n
+
+    def live(self) -> dict[str, int]:
+        """Snapshot of current allocations."""
+        return dict(self._live)

@@ -1,0 +1,84 @@
+"""Sequential training network and the reference store-all backprop.
+
+:class:`SequentialNet` chains :class:`~repro.autodiff.layers.TrainLayer`
+objects.  :meth:`SequentialNet.train_step` is the *reference* gradient
+computation — it stores every activation — against which the checkpointed
+executor is verified to be numerically identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .layers import TrainLayer, param_bytes
+from .loss import softmax_cross_entropy
+
+__all__ = ["SequentialNet", "GradMap"]
+
+GradMap = dict[tuple[str, str], np.ndarray]
+
+
+class SequentialNet:
+    """A chain of layers F_1..F_l — the executable ChainSpec."""
+
+    def __init__(self, layers: list[TrainLayer], name: str = "net") -> None:
+        if not layers:
+            raise ShapeError("network needs at least one layer")
+        names = [lay.name for lay in layers]
+        if len(set(names)) != len(names):
+            raise ShapeError(f"layer names must be unique, got {names}")
+        self.layers = layers
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    # -- inference -----------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Full forward pass, discarding intermediates."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def activations(self, x: np.ndarray) -> list[np.ndarray]:
+        """All activations x_0..x_l (store-all forward)."""
+        acts = [x]
+        for layer in self.layers:
+            acts.append(layer.forward(acts[-1]))
+        return acts
+
+    # -- reference training step -----------------------------------------
+    def train_step(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        loss_fn=softmax_cross_entropy,
+    ) -> tuple[float, GradMap, int]:
+        """Store-all forward + backward.
+
+        Returns (loss, grads keyed by (layer, param), peak live bytes of
+        the stored activations + gradient — the store-all memory this
+        library exists to reduce).
+        """
+        acts = self.activations(x)
+        peak = sum(int(a.nbytes) for a in acts)
+        loss, dy = loss_fn(acts[-1], labels)
+        peak += int(dy.nbytes)
+        grads: GradMap = {}
+        for i in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[i]
+            dy, layer_grads = layer.backward(acts[i], dy)
+            for pname, g in layer_grads.items():
+                grads[(layer.name, pname)] = g
+        return loss, grads, peak
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def param_bytes(self) -> int:
+        """One copy of all parameters."""
+        return sum(param_bytes(layer) for layer in self.layers)
+
+    def activation_bytes(self, x: np.ndarray) -> list[int]:
+        """Per-activation byte sizes x_0..x_l for a given input batch."""
+        return [int(a.nbytes) for a in self.activations(x)]

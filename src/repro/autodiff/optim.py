@@ -1,0 +1,108 @@
+"""Optimizers over (layer, param-name) keyed gradients.
+
+Each optimizer reports ``state_bytes`` — the extra per-parameter copies it
+keeps — which ties directly into the memory model's ``weight_copies``
+convention (SGD: 0 extra, Momentum: 1, Adam: 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import TrainLayer
+
+__all__ = ["Optimizer", "SGD", "Momentum", "Adam"]
+
+GradMap = dict[tuple[str, str], np.ndarray]
+
+
+class Optimizer:
+    """Base optimizer over a list of layers."""
+
+    #: extra weight-sized copies per parameter (for memory accounting)
+    state_copies: int = 0
+
+    def __init__(self, layers: list[TrainLayer], lr: float = 1e-2) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.layers = layers
+        self.lr = lr
+
+    def step(self, grads: GradMap) -> None:
+        raise NotImplementedError
+
+    @property
+    def state_bytes(self) -> int:
+        per_copy = sum(int(v.nbytes) for lay in self.layers for v in lay.params.values())
+        return self.state_copies * per_copy
+
+    def _iter(self, grads: GradMap):
+        for layer in self.layers:
+            for pname, value in layer.params.items():
+                g = grads.get((layer.name, pname))
+                if g is not None:
+                    yield layer, pname, value, g
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent."""
+
+    state_copies = 0
+
+    def step(self, grads: GradMap) -> None:
+        for _, _, value, g in self._iter(grads):
+            value -= self.lr * g
+
+
+class Momentum(Optimizer):
+    """SGD with heavy-ball momentum."""
+
+    state_copies = 1
+
+    def __init__(self, layers: list[TrainLayer], lr: float = 1e-2, beta: float = 0.9) -> None:
+        super().__init__(layers, lr)
+        self.beta = beta
+        self._vel: dict[tuple[str, str], np.ndarray] = {}
+
+    def step(self, grads: GradMap) -> None:
+        for layer, pname, value, g in self._iter(grads):
+            key = (layer.name, pname)
+            v = self._vel.setdefault(key, np.zeros_like(value))
+            v *= self.beta
+            v -= self.lr * g
+            value += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    state_copies = 2
+
+    def __init__(
+        self,
+        layers: list[TrainLayer],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(layers, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[tuple[str, str], np.ndarray] = {}
+        self._v: dict[tuple[str, str], np.ndarray] = {}
+        self._t = 0
+
+    def step(self, grads: GradMap) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for layer, pname, value, g in self._iter(grads):
+            key = (layer.name, pname)
+            m = self._m.setdefault(key, np.zeros_like(value))
+            v = self._v.setdefault(key, np.zeros_like(value))
+            m += (1 - b1) * (g - m)
+            v += (1 - b2) * (g * g - v)
+            mhat = m / (1 - b1**self._t)
+            vhat = v / (1 - b2**self._t)
+            value -= self.lr * mhat / (np.sqrt(vhat) + self.eps)

@@ -1,0 +1,144 @@
+"""Checkpointing strategies, schedules and planning — the core library.
+
+The package exposes:
+
+* :class:`ChainSpec` — sizes/costs of a reversible chain;
+* an action IR (:mod:`~repro.checkpointing.actions`) and
+  :class:`Schedule` container;
+* strategies: Revolve (optimal binomial), uniform
+  (``checkpoint_sequential``), √l (Chen), and exact heterogeneous DPs;
+* a validating :func:`simulate` virtual machine measuring cost and peak
+  memory of any schedule;
+* the planner mapping recompute factor ρ ↔ slots ↔ bytes (Figure 1) and
+  choosing strategies for device budgets.
+"""
+
+from .actions import Action, ActionKind, adjoint, advance, free, restore, snapshot
+from .chainspec import ChainSpec
+from .schedule import Schedule
+from .realchain import RealChainPlan, plan_real_chain, working_set_bytes
+from .serialize import FORMAT_VERSION, schedule_from_json, schedule_to_json
+from .timeline import TimelinePoint, memory_timeline, timeline_ascii
+from .simulator import ExecutionStats, simulate, validate
+from .revolve import (
+    beta,
+    extra_forwards,
+    min_slots_for_extra,
+    opt_forwards,
+    opt_forwards_dp,
+    repetition_number,
+    revolve_schedule,
+    store_all_schedule,
+)
+from .uniform import (
+    best_segments,
+    segment_lengths,
+    uniform_extra_forwards,
+    uniform_extra_forwards_fused,
+    uniform_lower_bound,
+    uniform_memory_slots,
+    uniform_schedule,
+)
+from .sqrt import sqrt_memory_slots, sqrt_schedule, sqrt_segments
+from .dynprog import (
+    budget_schedule,
+    hetero_schedule,
+    opt_forwards_budget,
+    opt_forwards_hetero,
+    quantize_sizes,
+)
+from .analysis import (
+    ParetoPoint,
+    pareto_frontier,
+    regime_table,
+    slots_for_repetitions,
+    slots_logarithmic_bound,
+)
+from .multilevel import (
+    DISK_SLOT_BASE,
+    TieredStats,
+    disk_revolve_cost,
+    disk_revolve_schedule,
+    disk_revolve_splits,
+    simulate_tiered,
+)
+from .planner import (
+    PlanPoint,
+    TrainingPlan,
+    compare_strategies,
+    max_slots_in_budget,
+    memory_curve,
+    memory_for_slots,
+    plan_training,
+    rho_for_budget,
+    rho_for_slots,
+    slots_for_rho,
+)
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "advance",
+    "snapshot",
+    "restore",
+    "free",
+    "adjoint",
+    "ChainSpec",
+    "Schedule",
+    "FORMAT_VERSION",
+    "schedule_to_json",
+    "schedule_from_json",
+    "RealChainPlan",
+    "plan_real_chain",
+    "working_set_bytes",
+    "TimelinePoint",
+    "memory_timeline",
+    "timeline_ascii",
+    "ExecutionStats",
+    "simulate",
+    "validate",
+    "beta",
+    "repetition_number",
+    "opt_forwards",
+    "opt_forwards_dp",
+    "extra_forwards",
+    "min_slots_for_extra",
+    "revolve_schedule",
+    "store_all_schedule",
+    "segment_lengths",
+    "uniform_memory_slots",
+    "uniform_extra_forwards",
+    "uniform_extra_forwards_fused",
+    "uniform_lower_bound",
+    "best_segments",
+    "uniform_schedule",
+    "sqrt_segments",
+    "sqrt_memory_slots",
+    "sqrt_schedule",
+    "opt_forwards_hetero",
+    "hetero_schedule",
+    "quantize_sizes",
+    "opt_forwards_budget",
+    "budget_schedule",
+    "DISK_SLOT_BASE",
+    "disk_revolve_cost",
+    "disk_revolve_splits",
+    "disk_revolve_schedule",
+    "TieredStats",
+    "simulate_tiered",
+    "regime_table",
+    "ParetoPoint",
+    "pareto_frontier",
+    "slots_for_repetitions",
+    "slots_logarithmic_bound",
+    "PlanPoint",
+    "TrainingPlan",
+    "rho_for_slots",
+    "slots_for_rho",
+    "memory_for_slots",
+    "max_slots_in_budget",
+    "memory_curve",
+    "rho_for_budget",
+    "plan_training",
+    "compare_strategies",
+]

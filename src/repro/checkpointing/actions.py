@@ -1,0 +1,83 @@
+"""The action IR for checkpoint schedules.
+
+A schedule is a flat list of actions driving an abstract reversal machine
+(and, in :mod:`repro.autodiff.executor`, a real NumPy training run):
+
+``ADVANCE(to)``
+    Run forward steps from the cursor's activation index up to ``to``,
+    discarding intermediates (the cursor ends holding ``x_to``).
+``SNAPSHOT(slot)``
+    Copy the cursor's activation into checkpoint slot ``slot``.
+``RESTORE(slot)``
+    Load the cursor from slot ``slot`` (the slot keeps its contents).
+``FREE(slot)``
+    Release a slot (memory-accounting hygiene; Revolve also overwrites).
+``ADJOINT(step)``
+    Perform the combined forward+backward of ``step`` ("youturn"):
+    requires the cursor at ``x_{step-1}`` and the pending backward counter
+    equal to ``step``; internally replays ``F_step`` then applies
+    ``B_step``.
+
+Conventions follow Griewank & Walther's Revolve: the adjoint always
+replays its own step's forward, so a schedule's *pure* forward count (sum
+of ADVANCE lengths) is the classic Revolve cost ``P(l, c)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ScheduleError
+
+__all__ = ["ActionKind", "Action", "advance", "snapshot", "restore", "free", "adjoint"]
+
+
+class ActionKind(enum.Enum):
+    """Discriminator for :class:`Action`."""
+
+    ADVANCE = "advance"
+    SNAPSHOT = "snapshot"
+    RESTORE = "restore"
+    FREE = "free"
+    ADJOINT = "adjoint"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One schedule instruction.  ``arg`` is the target index or slot id."""
+
+    kind: ActionKind
+    arg: int
+
+    def __post_init__(self) -> None:
+        if self.arg < 0:
+            raise ScheduleError(f"{self.kind.value} argument must be >= 0, got {self.arg}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}({self.arg})"
+
+
+def advance(to: int) -> Action:
+    """Forward the cursor to activation index ``to``."""
+    return Action(ActionKind.ADVANCE, to)
+
+
+def snapshot(slot: int) -> Action:
+    """Store the cursor's activation into ``slot``."""
+    return Action(ActionKind.SNAPSHOT, slot)
+
+
+def restore(slot: int) -> Action:
+    """Load the cursor from ``slot``."""
+    return Action(ActionKind.RESTORE, slot)
+
+
+def free(slot: int) -> Action:
+    """Release ``slot``."""
+    return Action(ActionKind.FREE, slot)
+
+
+def adjoint(step: int) -> Action:
+    """Forward+backward of ``step`` (requires cursor at ``x_{step-1}``)."""
+    return Action(ActionKind.ADJOINT, step)

@@ -1,0 +1,275 @@
+"""Optimal checkpointing for *heterogeneous* chains — the paper's
+"proposed improvements" direction, generalized.
+
+Classic Revolve assumes every step has equal cost and every activation
+equal size — true for the paper's idealized ``LinearResNet`` but not for a
+real ResNet block chain, where early blocks have large activations and
+late blocks large weights.  This module provides two exact dynamic
+programs over segments ``[i, j)`` of a :class:`~.chainspec.ChainSpec`:
+
+* :func:`opt_forwards_hetero` — per-step forward *costs* differ, all
+  activations occupy one slot (slot-count budget ``c``); reduces exactly
+  to Revolve on homogeneous chains (property-tested).
+* :func:`opt_forwards_budget` — activation *sizes* differ and the budget
+  is in bytes; sizes are conservatively quantized to ``levels`` integer
+  units (ceiling), so a reported plan never exceeds the byte budget.
+
+Both return optimal extra-forward cost and can materialize executable
+schedules.  Complexity is O(l³·c) / O(l³·levels); intended for block
+chains (l ≲ 60), not the homogenized 152-step chains (use Revolve there).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import PlanningError, ScheduleError
+from .actions import Action, adjoint, advance, free, restore, snapshot
+from .chainspec import ChainSpec
+from .schedule import Schedule
+
+__all__ = [
+    "opt_forwards_hetero",
+    "hetero_schedule",
+    "quantize_sizes",
+    "opt_forwards_budget",
+    "budget_schedule",
+]
+
+_INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous costs, slot-count budget
+# ---------------------------------------------------------------------------
+
+
+class _HeteroDP:
+    """Memoized segment DP with per-step forward costs."""
+
+    def __init__(self, fwd_cost: tuple[float, ...]) -> None:
+        self.u = fwd_cost
+        self.l = len(fwd_cost)
+        # prefix[i] = cost of F_1..F_i
+        self.prefix = [0.0]
+        for ucost in fwd_cost:
+            self.prefix.append(self.prefix[-1] + ucost)
+        self._memo: dict[tuple[int, int, int], tuple[float, int]] = {}
+
+    def adv(self, i: int, j: int) -> float:
+        """Cost of advancing from x_i to x_j."""
+        return self.prefix[j] - self.prefix[i]
+
+    def quad(self, i: int, j: int) -> float:
+        """Pure-advance cost of the one-slot reversal of [i, j)."""
+        # For b = j..i+1 we advance i -> b-1: sum_{b} (prefix[b-1]-prefix[i])
+        total = 0.0
+        for b in range(j, i, -1):
+            total += self.adv(i, b - 1)
+        return total
+
+    def child_budget(self, budget: int, m: int) -> int:
+        """Right segment gets one fewer slot (its input occupies one)."""
+        return budget - 1
+
+    def solve(self, i: int, j: int, c: int) -> tuple[float, int]:
+        """(min advance cost, best first-checkpoint m; 0 = no split)."""
+        if j - i <= 1:
+            return 0.0, 0
+        if c <= 1:
+            return self.quad(i, j), 0
+        key = (i, j, c)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        best, best_m = self.quad(i, j), 0
+        for m in range(i + 1, j):
+            val = (
+                self.adv(i, m)
+                + self.solve(m, j, c - 1)[0]
+                + self.solve(i, m, c)[0]
+            )
+            if val < best - 1e-12:
+                best, best_m = val, m
+        self._memo[key] = (best, best_m)
+        return best, best_m
+
+
+def _hetero_dp(spec: ChainSpec) -> _HeteroDP:
+    return _HeteroDP(spec.fwd_cost)
+
+
+def opt_forwards_hetero(spec: ChainSpec, c: int) -> float:
+    """Minimal pure-advance cost to reverse ``spec`` with ``c`` slots.
+
+    Matches Revolve's ``P(l, c)`` (as cost) when the chain is homogeneous
+    with unit step cost.
+    """
+    if c < 1:
+        raise ScheduleError("slot count must be >= 1")
+    return _hetero_dp(spec).solve(0, spec.length, c)[0]
+
+
+def _emit_hetero(
+    dp: "_HeteroDP | _BudgetDP",
+    actions: list[Action],
+    i: int,
+    j: int,
+    budget: int,
+    base_slot: int,
+    pool: list[int],
+) -> None:
+    """Shared emission for both DPs; ``budget`` is c or byte-units."""
+    while True:
+        if j - i == 0:
+            return
+        if j - i == 1:
+            actions.append(restore(base_slot))
+            actions.append(adjoint(i + 1))
+            return
+        _, m = dp.solve(i, j, budget)
+        if m == 0 or not pool:
+            for b in range(j, i, -1):
+                actions.append(restore(base_slot))
+                if b - 1 > i:
+                    actions.append(advance(b - 1))
+                actions.append(adjoint(b))
+            return
+        actions.append(restore(base_slot))
+        actions.append(advance(m))
+        s = pool.pop()
+        actions.append(snapshot(s))
+        _emit_hetero(dp, actions, m, j, dp.child_budget(budget, m), s, pool)
+        actions.append(free(s))
+        pool.append(s)
+        j = m
+
+
+def hetero_schedule(spec: ChainSpec, c: int) -> Schedule:
+    """Optimal executable schedule for heterogeneous step costs."""
+    if c < 1:
+        raise ScheduleError("slot count must be >= 1")
+    dp = _hetero_dp(spec)
+    actions: list[Action] = []
+    pool = list(range(1, c))
+    actions.append(snapshot(0))
+    _emit_hetero(dp, actions, 0, spec.length, c, 0, pool)
+    return Schedule(strategy="hetero_dp", length=spec.length, slots=c, actions=tuple(actions))
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous sizes, byte budget
+# ---------------------------------------------------------------------------
+
+
+def quantize_sizes(act_bytes: tuple[int, ...], levels: int = 64) -> tuple[tuple[int, ...], int]:
+    """Quantize byte sizes to integer units (ceiling — conservative).
+
+    Returns (units, bytes_per_unit).  A plan feasible in units is feasible
+    in bytes because every size is rounded *up*.
+    """
+    if levels < 2:
+        raise PlanningError("quantization levels must be >= 2")
+    biggest = max(act_bytes)
+    if biggest == 0:
+        return tuple(0 for _ in act_bytes), 1
+    unit = max(1, math.ceil(biggest / levels))
+    return tuple(math.ceil(b / unit) for b in act_bytes), unit
+
+
+class _BudgetDP:
+    """Segment DP with heterogeneous activation sizes and a unit budget."""
+
+    def __init__(self, fwd_cost: tuple[float, ...], size_units: tuple[int, ...]) -> None:
+        self.u = fwd_cost
+        self.sizes = size_units  # length l+1, x_0..x_l
+        self.l = len(fwd_cost)
+        self.prefix = [0.0]
+        for ucost in fwd_cost:
+            self.prefix.append(self.prefix[-1] + ucost)
+        self._memo: dict[tuple[int, int, int], tuple[float, int]] = {}
+
+    def adv(self, i: int, j: int) -> float:
+        return self.prefix[j] - self.prefix[i]
+
+    def quad(self, i: int, j: int) -> float:
+        total = 0.0
+        for b in range(j, i, -1):
+            total += self.adv(i, b - 1)
+        return total
+
+    def child_budget(self, budget: int, m: int) -> int:
+        return budget - self.sizes[m]
+
+    def solve(self, i: int, j: int, budget: int) -> tuple[float, int]:
+        """(min advance cost, best m; 0 = reverse without snapshots).
+
+        ``budget`` is the free units available for snapshots inside
+        ``[i, j)``; the segment input ``x_i`` is charged by the caller.
+        """
+        if j - i <= 1:
+            return 0.0, 0
+        key = (i, j, budget)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        best, best_m = self.quad(i, j), 0
+        for m in range(i + 1, j):
+            sz = self.sizes[m]
+            if sz > budget:
+                continue
+            val = (
+                self.adv(i, m)
+                + self.solve(m, j, budget - sz)[0]
+                + self.solve(i, m, budget)[0]
+            )
+            if val < best - 1e-12:
+                best, best_m = val, m
+        self._memo[key] = (best, best_m)
+        return best, best_m
+
+
+def opt_forwards_budget(
+    spec: ChainSpec, budget_bytes: int, levels: int = 64
+) -> tuple[float, int]:
+    """Minimal pure-advance cost under a checkpoint *byte* budget.
+
+    The chain input ``x_0`` is charged against the budget first (it must
+    stay resident).  Returns ``(cost, bytes_per_unit)``; raises
+    :class:`~repro.errors.PlanningError` when even ``x_0`` does not fit.
+    """
+    units, per_unit = quantize_sizes(spec.act_bytes, levels)
+    free_units = budget_bytes // per_unit - units[0]
+    if free_units < 0:
+        raise PlanningError(
+            f"budget {budget_bytes} B cannot hold the chain input "
+            f"({spec.act_bytes[0]} B)"
+        )
+    dp = _BudgetDP(spec.fwd_cost, units)
+    return dp.solve(0, spec.length, free_units)[0], per_unit
+
+
+def budget_schedule(spec: ChainSpec, budget_bytes: int, levels: int = 64) -> Schedule:
+    """Optimal executable schedule under a checkpoint byte budget.
+
+    The returned schedule's simulated ``peak_slot_bytes`` never exceeds
+    ``budget_bytes`` (quantization rounds sizes up).
+    """
+    units, per_unit = quantize_sizes(spec.act_bytes, levels)
+    free_units = budget_bytes // per_unit - units[0]
+    if free_units < 0:
+        raise PlanningError(
+            f"budget {budget_bytes} B cannot hold the chain input "
+            f"({spec.act_bytes[0]} B)"
+        )
+    dp = _BudgetDP(spec.fwd_cost, units)
+    actions: list[Action] = []
+    pool = list(range(1, spec.length + 1))
+    actions.append(snapshot(0))
+    _emit_hetero(dp, actions, 0, spec.length, free_units, 0, pool)
+    return Schedule(
+        strategy="budget_dp",
+        length=spec.length,
+        slots=spec.length + 1,
+        actions=tuple(actions),
+    )

@@ -1,0 +1,244 @@
+"""Two-level (memory + disk) checkpointing — "disk-revolve".
+
+The paper's reference [1] is INRIA's disk-revolve implementation: edge
+nodes have little RAM but plentiful flash (the Waggle node's SD card), so
+activations can be checkpointed to a second, slower tier.  Following
+Aupy, Herrmann et al.'s multistage adjoint model, we add a disk tier with
+unlimited slots and per-access costs ``write_cost`` / ``read_cost``
+(in forward-step units) to the ``c_m`` memory slots:
+
+    DR(l, c_m) = min( P(l, c_m),
+                      min_{1<=j<l} [ j + w_d + DR(l-j, c_m)
+                                       + r_d + P(j, c_m) ] )
+
+``P`` is classic Revolve.  Either reverse the whole chain in memory, or
+advance ``j`` steps, park ``x_j`` on disk, reverse the right part
+recursively (all memory slots free again), then pay one disk read to
+restart the left part.  The outermost ``x_0`` write is charged once when
+any split is taken.  Sanity limits are property-tested: free disk
+(w=r=0) degenerates to the store-everything sweep ``l − 1``; infinitely
+expensive disk degenerates to ``P(l, c_m)``.
+
+:func:`disk_revolve_schedule` emits an executable schedule whose disk
+slots are the ids at/above :data:`DISK_SLOT_BASE`;
+:func:`simulate_tiered` executes it with tier-aware accounting, and its
+measured ``total_cost`` equals :func:`disk_revolve_cost` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import ScheduleError
+from .actions import Action, ActionKind, advance, free, restore, snapshot
+from .chainspec import ChainSpec
+from .revolve import _SplitFn, _emit_reverse, opt_forwards, revolve_schedule
+from .schedule import Schedule
+from .simulator import simulate
+
+__all__ = [
+    "DISK_SLOT_BASE",
+    "disk_revolve_cost",
+    "disk_revolve_splits",
+    "disk_revolve_schedule",
+    "TieredStats",
+    "simulate_tiered",
+]
+
+#: Slot ids >= this refer to the disk tier.
+DISK_SLOT_BASE = 1_000_000
+
+
+@lru_cache(maxsize=None)
+def _dr(l: int, c_m: int, write_cost: float, read_cost: float) -> tuple[float, int]:
+    """Inner DP: segment whose base is *already on disk*.
+
+    Returns (optimal cost, first split j; 0 = finish in memory).
+    """
+    best, best_j = float(opt_forwards(l, c_m)), 0
+    for j in range(1, l):
+        right, _ = _dr(l - j, c_m, write_cost, read_cost)
+        left = float(opt_forwards(j, c_m))
+        val = j + write_cost + right + read_cost + left
+        if val < best - 1e-12:
+            best, best_j = val, j
+    return best, best_j
+
+
+@lru_cache(maxsize=None)
+def _dr_top(l: int, c_m: int, write_cost: float, read_cost: float) -> tuple[float, int]:
+    """Top-level DP: x_0 starts in the cursor, *not* on disk.
+
+    Taking any split requires first parking x_0 on disk (one extra
+    write), so that option is priced against pure in-memory Revolve.
+    """
+    best, best_j = float(opt_forwards(l, c_m)), 0
+    for j in range(1, l):
+        right, _ = _dr(l - j, c_m, write_cost, read_cost)
+        left = float(opt_forwards(j, c_m))
+        val = write_cost + j + write_cost + right + read_cost + left
+        if val < best - 1e-12:
+            best, best_j = val, j
+    return best, best_j
+
+
+def _validate(l: int, c_m: int, write_cost: float, read_cost: float) -> int:
+    if l < 1 or c_m < 1:
+        raise ScheduleError("require l >= 1 and c_m >= 1")
+    if write_cost < 0 or read_cost < 0:
+        raise ScheduleError("disk costs must be non-negative")
+    return min(c_m, max(1, l - 1))
+
+
+def disk_revolve_cost(l: int, c_m: int, write_cost: float = 1.0, read_cost: float = 1.0) -> float:
+    """Optimal total cost: pure forwards + all disk I/O, in forward units.
+
+    Includes the one-off ``x_0`` write whenever the plan uses the disk.
+    """
+    c_eff = _validate(l, c_m, write_cost, read_cost)
+    return _dr_top(l, c_eff, float(write_cost), float(read_cost))[0]
+
+
+def disk_revolve_splits(l: int, c_m: int, write_cost: float = 1.0, read_cost: float = 1.0) -> list[int]:
+    """Disk-checkpoint positions (absolute indices), left to right."""
+    c_eff = _validate(l, c_m, write_cost, read_cost)
+    _, j = _dr_top(l, c_eff, float(write_cost), float(read_cost))
+    if j == 0:
+        return []
+    splits = [j]
+    base, remaining = j, l - j
+    while remaining > 0:
+        _, j = _dr(remaining, c_eff, float(write_cost), float(read_cost))
+        if j == 0:
+            break
+        splits.append(base + j)
+        base += j
+        remaining -= j
+    return splits
+
+
+def disk_revolve_schedule(
+    l: int, c_m: int, write_cost: float = 1.0, read_cost: float = 1.0
+) -> Schedule:
+    """Executable two-tier schedule achieving :func:`disk_revolve_cost`.
+
+    Disk layout: slot ``DISK_SLOT_BASE + i`` holds the i-th disk-resident
+    activation (``x_0`` plus the optimal split points).  Memory layout:
+    slots ``0 .. c_m-1``, slot 0 holding the active segment's base.
+    When the plan takes no splits this is exactly classic Revolve.
+    """
+    c_eff = _validate(l, c_m, write_cost, read_cost)
+    splits = disk_revolve_splits(l, c_eff, write_cost, read_cost)
+    if not splits:
+        return revolve_schedule(l, c_eff)
+
+    bounds = [0] + splits
+    seg_ends = splits + [l]
+    actions: list[Action] = []
+
+    # Forward phase: write x_0 and every split point to disk.
+    actions.append(snapshot(DISK_SLOT_BASE))
+    for i, pos in enumerate(splits, start=1):
+        actions.append(advance(pos))
+        actions.append(snapshot(DISK_SLOT_BASE + i))
+
+    max_seg = max(e - b for b, e in zip(bounds, seg_ends))
+    split_for = _SplitFn(max_seg, c_eff)
+
+    # Backward phase, rightmost segment first.  The rightmost base is
+    # still in the cursor (no disk read); every other segment pays one
+    # read to bring its base back.
+    for i in range(len(bounds) - 1, -1, -1):
+        base, end = bounds[i], seg_ends[i]
+        seg_len = end - base
+        disk_slot = DISK_SLOT_BASE + i
+        if i < len(bounds) - 1:
+            actions.append(restore(disk_slot))
+        # Park the segment base in memory slot 0; remaining memory slots
+        # form the Revolve pool (P(seg_len, c_m) convention: the input
+        # occupies one of the c_m slots).
+        actions.append(snapshot(0))
+        c_seg = min(c_eff, max(1, seg_len - 1))
+        pool = list(range(1, c_seg))
+        _emit_reverse(actions, base, seg_len, 0, pool, split_for)
+        actions.append(free(disk_slot))
+
+    return Schedule(
+        strategy=f"disk_revolve(c_m={c_eff})",
+        length=l,
+        slots=DISK_SLOT_BASE + len(bounds),
+        actions=tuple(actions),
+    )
+
+
+@dataclass(frozen=True)
+class TieredStats:
+    """Tier-aware measurements of an executed two-level schedule."""
+
+    forward_steps: int
+    disk_writes: int
+    disk_reads: int
+    peak_memory_slots: int
+    peak_disk_slots: int
+    peak_memory_bytes: int
+    peak_disk_bytes: int
+
+    def total_cost(self, write_cost: float, read_cost: float) -> float:
+        """Forwards + I/O in forward units (the DP's objective)."""
+        return self.forward_steps + write_cost * self.disk_writes + read_cost * self.disk_reads
+
+
+def simulate_tiered(schedule: Schedule, spec: ChainSpec | None = None) -> TieredStats:
+    """Execute with per-tier accounting.
+
+    Validation (ordering, slot discipline, completeness) is delegated to
+    the flat :func:`~repro.checkpointing.simulator.simulate`; this wrapper
+    only re-walks the actions to split the accounting by tier.
+    """
+    if spec is None:
+        spec = ChainSpec.homogeneous(schedule.length)
+    flat = simulate(schedule, spec)  # raises on any invariant violation
+
+    mem: dict[int, int] = {}
+    disk: dict[int, int] = {}
+    cursor = 0
+    disk_writes = disk_reads = 0
+    peak_mem_slots = peak_disk_slots = 0
+    peak_mem_bytes = peak_disk_bytes = 0
+    for act in schedule.actions:
+        if act.kind is ActionKind.SNAPSHOT:
+            if act.arg >= DISK_SLOT_BASE:
+                disk[act.arg] = cursor
+                disk_writes += 1
+            else:
+                mem[act.arg] = cursor
+        elif act.kind is ActionKind.RESTORE:
+            if act.arg >= DISK_SLOT_BASE:
+                cursor = disk[act.arg]
+                disk_reads += 1
+            else:
+                cursor = mem[act.arg]
+        elif act.kind is ActionKind.FREE:
+            if act.arg >= DISK_SLOT_BASE:
+                del disk[act.arg]
+            else:
+                del mem[act.arg]
+        elif act.kind is ActionKind.ADVANCE:
+            cursor = act.arg
+        elif act.kind is ActionKind.ADJOINT:
+            cursor = act.arg - 1
+        peak_mem_slots = max(peak_mem_slots, len(mem))
+        peak_disk_slots = max(peak_disk_slots, len(disk))
+        peak_mem_bytes = max(peak_mem_bytes, sum(spec.act_bytes[i] for i in mem.values()))
+        peak_disk_bytes = max(peak_disk_bytes, sum(spec.act_bytes[i] for i in disk.values()))
+
+    return TieredStats(
+        forward_steps=flat.forward_steps,
+        disk_writes=disk_writes,
+        disk_reads=disk_reads,
+        peak_memory_slots=peak_mem_slots,
+        peak_disk_slots=peak_disk_slots,
+        peak_memory_bytes=peak_mem_bytes,
+        peak_disk_bytes=peak_disk_bytes,
+    )

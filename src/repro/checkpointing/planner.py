@@ -1,0 +1,239 @@
+"""Planning: recompute factor ρ ↔ checkpoint slots ↔ peak memory.
+
+This implements the paper's Section VI analysis.  For a homogeneous chain
+of depth ``l`` with per-slot activation size ``slot_bytes`` (= batch ×
+per-layer activation) and batch-independent ``fixed_bytes`` (weights ×
+optimizer copies):
+
+* a slot count ``c`` costs ``extra_forwards(l, c)`` recomputed steps, so
+  its recompute factor is ``ρ(c) = 1 + extra/(l·(1+r))`` with ``r`` the
+  backward/forward cost ratio (the paper takes r = 1, giving the "2ρl"
+  budget);
+* its peak memory is ``fixed_bytes + (c + 1)·slot_bytes`` — the ``c``
+  snapshots plus the in-flight activation, which at ``c = l−1`` recovers
+  exactly the store-all footprint of Tables I–III;
+* :func:`slots_for_rho` inverts the first map (binary search, since extra
+  is monotone in c) and :func:`rho_for_budget` inverts the second.
+
+:func:`plan_training` combines them into the user-facing decision: given a
+device budget, pick store-all if it fits, otherwise the optimal Revolve
+slot count, reporting the ρ paid — with the uniform
+(``checkpoint_sequential``) alternative quantified for comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import MemoryBudgetError, PlanningError
+from .revolve import extra_forwards, min_slots_for_extra
+from .uniform import best_segments, uniform_extra_forwards_fused
+
+__all__ = [
+    "PlanPoint",
+    "TrainingPlan",
+    "rho_for_slots",
+    "slots_for_rho",
+    "memory_for_slots",
+    "max_slots_in_budget",
+    "memory_curve",
+    "rho_for_budget",
+    "plan_training",
+    "compare_strategies",
+]
+
+
+def rho_for_slots(l: int, c: int, bwd_ratio: float = 1.0) -> float:
+    """Recompute factor achieved by the optimal schedule with ``c`` slots."""
+    if bwd_ratio < 0:
+        raise PlanningError("bwd_ratio must be >= 0")
+    return 1.0 + extra_forwards(l, c) / (l * (1.0 + bwd_ratio))
+
+
+def slots_for_rho(l: int, rho: float, bwd_ratio: float = 1.0) -> int:
+    """Minimal slot count with recompute factor ≤ ``rho``.
+
+    ``rho`` must be ≥ 1; ``rho = 1`` demands no recomputation and returns
+    ``l − 1`` (store-all, the ``c+1 = l`` slot footprint).
+    """
+    if rho < 1.0:
+        raise PlanningError(f"recompute factor must be >= 1, got {rho}")
+    budget = (rho - 1.0) * l * (1.0 + bwd_ratio)
+    return min_slots_for_extra(l, budget)
+
+
+def memory_for_slots(c: int, fixed_bytes: float, slot_bytes: float) -> float:
+    """Peak bytes: fixed + (c snapshots + 1 in-flight) activations."""
+    if c < 0:
+        raise PlanningError("slot count must be >= 0")
+    return fixed_bytes + (c + 1) * slot_bytes
+
+
+def max_slots_in_budget(budget_bytes: float, fixed_bytes: float, slot_bytes: float) -> int:
+    """Largest ``c`` with ``memory_for_slots(c) <= budget``.
+
+    Raises :class:`~repro.errors.MemoryBudgetError` when not even one slot
+    plus the in-flight activation fits (``c = 1`` is the Revolve minimum).
+    """
+    if slot_bytes <= 0:
+        raise PlanningError("slot_bytes must be positive")
+    c = math.floor((budget_bytes - fixed_bytes) / slot_bytes) - 1
+    if c < 1:
+        need = memory_for_slots(1, fixed_bytes, slot_bytes)
+        raise MemoryBudgetError(
+            f"budget {budget_bytes:.0f} B cannot hold even 1 checkpoint slot "
+            f"(needs {need:.0f} B)"
+        )
+    return c
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One point of the paper's Figure 1 curves."""
+
+    rho: float
+    slots: int
+    extra_forwards: int
+    memory_bytes: float
+
+
+def memory_curve(
+    l: int,
+    fixed_bytes: float,
+    slot_bytes: float,
+    rhos: list[float] | tuple[float, ...],
+    bwd_ratio: float = 1.0,
+) -> list[PlanPoint]:
+    """Peak memory as a function of ρ — one Figure 1 line."""
+    points = []
+    for rho in rhos:
+        c = slots_for_rho(l, rho, bwd_ratio)
+        points.append(
+            PlanPoint(
+                rho=rho,
+                slots=c,
+                extra_forwards=extra_forwards(l, c),
+                memory_bytes=memory_for_slots(c, fixed_bytes, slot_bytes),
+            )
+        )
+    return points
+
+
+def rho_for_budget(
+    l: int,
+    fixed_bytes: float,
+    slot_bytes: float,
+    budget_bytes: float,
+    bwd_ratio: float = 1.0,
+) -> PlanPoint:
+    """Best achievable ρ within a byte budget (inverse of the curve)."""
+    c = min(max_slots_in_budget(budget_bytes, fixed_bytes, slot_bytes), max(1, l - 1))
+    return PlanPoint(
+        rho=rho_for_slots(l, c, bwd_ratio),
+        slots=c,
+        extra_forwards=extra_forwards(l, c),
+        memory_bytes=memory_for_slots(c, fixed_bytes, slot_bytes),
+    )
+
+
+@dataclass(frozen=True)
+class TrainingPlan:
+    """Outcome of :func:`plan_training`."""
+
+    model: str
+    budget_bytes: float
+    strategy: str  # "store_all" | "revolve"
+    slots: int
+    rho: float
+    memory_bytes: float
+    store_all_bytes: float
+    #: ρ the uniform (checkpoint_sequential) strategy would pay in the
+    #: same budget, or None when no segmentation fits.
+    uniform_rho: float | None = None
+
+    @property
+    def fits(self) -> bool:
+        return self.memory_bytes <= self.budget_bytes
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of the store-all footprint eliminated."""
+        if self.store_all_bytes <= 0:
+            return 0.0
+        return 1.0 - self.memory_bytes / self.store_all_bytes
+
+
+def plan_training(
+    l: int,
+    fixed_bytes: float,
+    slot_bytes: float,
+    budget_bytes: float,
+    bwd_ratio: float = 1.0,
+    model: str = "chain",
+) -> TrainingPlan:
+    """Choose a training strategy for a device budget.
+
+    Store-all when it fits (ρ = 1); otherwise the largest Revolve slot
+    count that fits, with the ρ it costs.  Raises
+    :class:`~repro.errors.MemoryBudgetError` when even ``c = 1`` does not
+    fit — then no chain-checkpointing strategy can train this model.
+    """
+    store_all = memory_for_slots(max(1, l - 1), fixed_bytes, slot_bytes)
+    if store_all <= budget_bytes:
+        return TrainingPlan(
+            model=model,
+            budget_bytes=budget_bytes,
+            strategy="store_all",
+            slots=max(1, l - 1),
+            rho=1.0,
+            memory_bytes=store_all,
+            store_all_bytes=store_all,
+            uniform_rho=1.0,
+        )
+    point = rho_for_budget(l, fixed_bytes, slot_bytes, budget_bytes, bwd_ratio)
+    uniform_rho: float | None = None
+    try:
+        s = best_segments(l, slot_budget=point.slots + 1)
+        uniform_rho = 1.0 + uniform_extra_forwards_fused(l, s) / (l * (1.0 + bwd_ratio))
+    except PlanningError:
+        uniform_rho = None
+    return TrainingPlan(
+        model=model,
+        budget_bytes=budget_bytes,
+        strategy="revolve",
+        slots=point.slots,
+        rho=point.rho,
+        memory_bytes=point.memory_bytes,
+        store_all_bytes=store_all,
+        uniform_rho=uniform_rho,
+    )
+
+
+def compare_strategies(l: int, slot_budget: int, bwd_ratio: float = 1.0) -> dict[str, float]:
+    """ρ of each strategy at an equal slot budget (∞ when infeasible).
+
+    Strategies: ``revolve`` (optimal), ``uniform`` (best
+    ``checkpoint_sequential`` fitting the budget), ``sqrt`` (Chen's √l,
+    only when its footprint fits), ``store_all`` (only when l−1 slots
+    fit).  The paper's Section VI claim is revolve ≤ uniform everywhere,
+    with the gap widest at small budgets.
+    """
+    if slot_budget < 1:
+        raise PlanningError("slot budget must be >= 1")
+    out: dict[str, float] = {}
+    out["revolve"] = rho_for_slots(l, slot_budget, bwd_ratio)
+    try:
+        s = best_segments(l, slot_budget=slot_budget)
+        out["uniform"] = 1.0 + uniform_extra_forwards_fused(l, s) / (l * (1.0 + bwd_ratio))
+    except PlanningError:
+        out["uniform"] = math.inf
+    from .sqrt import sqrt_memory_slots, sqrt_segments  # local: avoid cycle
+
+    if sqrt_memory_slots(l) <= slot_budget:
+        s = sqrt_segments(l)
+        out["sqrt"] = 1.0 + uniform_extra_forwards_fused(l, s) / (l * (1.0 + bwd_ratio))
+    else:
+        out["sqrt"] = math.inf
+    out["store_all"] = 1.0 if slot_budget >= max(1, l - 1) else math.inf
+    return out

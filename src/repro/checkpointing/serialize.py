@@ -1,0 +1,82 @@
+"""Schedule serialization: ship a plan to the node as JSON.
+
+A deployment planner computes the optimal schedule off-node (or on a
+gateway) and sends the action list to the edge device; the device's
+executor replays it verbatim.  The format is a single JSON object:
+
+    {"version": 1, "strategy": "revolve", "length": 50, "slots": 5,
+     "actions": [["snapshot", 0], ["advance", 7], ...]}
+
+Round trips are exact (property-tested), and loading validates both the
+JSON structure and — via the virtual machine — the schedule itself when
+``verify=True``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ScheduleError
+from .actions import Action, ActionKind
+from .schedule import Schedule
+from .simulator import simulate
+
+__all__ = ["schedule_to_json", "schedule_from_json", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def schedule_to_json(schedule: Schedule, indent: int | None = None) -> str:
+    """Serialize a schedule to the versioned JSON format."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "strategy": schedule.strategy,
+        "length": schedule.length,
+        "slots": schedule.slots,
+        "actions": [[a.kind.value, a.arg] for a in schedule.actions],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def schedule_from_json(text: str, verify: bool = True) -> Schedule:
+    """Parse (and optionally machine-verify) a serialized schedule.
+
+    Raises :class:`~repro.errors.ScheduleError` on malformed input;
+    with ``verify=True`` an :class:`~repro.errors.ExecutionError` is
+    raised if the schedule violates machine invariants.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScheduleError(f"invalid schedule JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ScheduleError("schedule JSON must be an object")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ScheduleError(f"unsupported schedule format version {version!r}")
+    for key in ("strategy", "length", "slots", "actions"):
+        if key not in payload:
+            raise ScheduleError(f"schedule JSON missing {key!r}")
+    kinds = {k.value: k for k in ActionKind}
+    actions = []
+    raw = payload["actions"]
+    if not isinstance(raw, list):
+        raise ScheduleError("actions must be a list")
+    for i, item in enumerate(raw):
+        if not (isinstance(item, list) and len(item) == 2):
+            raise ScheduleError(f"action {i} must be a [kind, arg] pair")
+        kind, arg = item
+        if kind not in kinds:
+            raise ScheduleError(f"action {i}: unknown kind {kind!r}")
+        if not isinstance(arg, int) or arg < 0:
+            raise ScheduleError(f"action {i}: arg must be a non-negative int")
+        actions.append(Action(kinds[kind], arg))
+    schedule = Schedule(
+        strategy=str(payload["strategy"]),
+        length=int(payload["length"]),
+        slots=int(payload["slots"]),
+        actions=tuple(actions),
+    )
+    if verify:
+        simulate(schedule)
+    return schedule

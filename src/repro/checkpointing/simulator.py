@@ -1,0 +1,228 @@
+"""Virtual machine that executes and validates checkpoint schedules.
+
+The simulator runs a :class:`~.schedule.Schedule` against a
+:class:`~.chainspec.ChainSpec` without any real tensors, enforcing every
+structural invariant (cursor preconditions, slot budget, backward order)
+and measuring exactly what the paper's analysis needs:
+
+* pure forward (ADVANCE) executions and their cost;
+* replayed forwards inside adjoints (one per step, Revolve convention);
+* peak checkpoint memory in bytes and in slots;
+* total time under the chain's cost model.
+
+``extra_forward_cost`` is measured against the mandatory work of a single
+forward sweep — the quantity the paper's recompute factor ρ prices:
+``time = baseline + extra_forward_cost`` and ``ρ = time / baseline``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExecutionError
+from .actions import ActionKind
+from .chainspec import ChainSpec
+from .schedule import Schedule
+
+__all__ = ["ExecutionStats", "simulate", "validate"]
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Measured outcome of executing a schedule."""
+
+    strategy: str
+    length: int
+    #: pure forward step executions (sum of ADVANCE lengths)
+    forward_steps: int
+    forward_cost: float
+    #: forwards replayed inside adjoints (== length under Revolve semantics)
+    replay_steps: int
+    replay_cost: float
+    backward_cost: float
+    #: per-step forward execution counts, index i-1 -> executions of F_i
+    executions: tuple[int, ...]
+    #: peak bytes held in checkpoint slots (excluding the cursor)
+    peak_slot_bytes: int
+    #: peak bytes including the cursor's activation
+    peak_bytes: int
+    #: maximum number of simultaneously occupied slots
+    peak_slots: int
+    snapshots_taken: int
+    restores: int
+
+    @property
+    def total_time(self) -> float:
+        """Raw machine time: every advance, replay and backward charged."""
+        return self.forward_cost + self.replay_cost + self.backward_cost
+
+    @property
+    def total_forward_executions(self) -> int:
+        return self.forward_steps + self.replay_steps
+
+    def extra_forward_steps(self) -> int:
+        """Advance steps beyond the mandatory ``l-1`` sweep.
+
+        The replay inside each adjoint is an executor artifact — a real
+        framework fuses that forward into the original sweep — so the
+        recomputation overhead is measured on pure ADVANCE steps against
+        the ``l-1`` advances even store-all needs.  For Revolve schedules
+        this equals :func:`repro.checkpointing.revolve.extra_forwards`.
+        """
+        return self.forward_steps - (self.length - 1)
+
+    def extra_forward_cost(self, spec: ChainSpec) -> float:
+        """Cost-weighted version of :meth:`extra_forward_steps`."""
+        sweep = spec.total_fwd_cost - spec.fwd_cost[-1]
+        return self.forward_cost - sweep
+
+    def effective_time(self, spec: ChainSpec) -> float:
+        """Training-step time under fused-youturn semantics.
+
+        Baseline (store-all) plus the recomputation overhead: the paper's
+        time model for Figure 1.
+        """
+        return spec.baseline_time + self.extra_forward_cost(spec)
+
+    def recompute_factor(self, spec: ChainSpec) -> float:
+        """ρ = effective time / store-all baseline time (>= 1)."""
+        return self.effective_time(spec) / spec.baseline_time
+
+
+@dataclass
+class _Machine:
+    spec: ChainSpec
+    slot_budget: int
+    cursor: int | None = None
+    slots: dict[int, int] = field(default_factory=dict)
+    pending: int = 0  # next backward step to perform
+
+    def __post_init__(self) -> None:
+        self.pending = self.spec.length
+        # The chain input x_0 starts in the cursor (the batch just arrived).
+        self.cursor = 0
+
+
+def simulate(schedule: Schedule, spec: ChainSpec | None = None) -> ExecutionStats:
+    """Execute ``schedule`` against ``spec`` and return measurements.
+
+    Raises :class:`~repro.errors.ExecutionError` on any invariant
+    violation: advancing backwards, restoring an empty slot, exceeding the
+    slot budget, adjoints out of order, or finishing with backwards
+    pending.
+    """
+    if spec is None:
+        spec = ChainSpec.homogeneous(schedule.length)
+    if spec.length != schedule.length:
+        raise ExecutionError(
+            f"schedule length {schedule.length} != chain length {spec.length}"
+        )
+    m = _Machine(spec=spec, slot_budget=schedule.slots)
+    l = spec.length
+
+    forward_steps = 0
+    forward_cost = 0.0
+    replay_steps = 0
+    replay_cost = 0.0
+    backward_cost = 0.0
+    executions = [0] * l
+    snapshots_taken = 0
+    restores = 0
+    peak_slot_bytes = 0
+    peak_bytes = 0
+    peak_slots = 0
+
+    def _charge() -> None:
+        nonlocal peak_slot_bytes, peak_bytes, peak_slots
+        slot_bytes = sum(spec.act_bytes[idx] for idx in m.slots.values())
+        cur_bytes = spec.act_bytes[m.cursor] if m.cursor is not None else 0
+        peak_slot_bytes = max(peak_slot_bytes, slot_bytes)
+        peak_bytes = max(peak_bytes, slot_bytes + cur_bytes)
+        peak_slots = max(peak_slots, len(m.slots))
+
+    _charge()
+    for pos, act in enumerate(schedule.actions):
+        kind = act.kind
+        if kind is ActionKind.ADVANCE:
+            if m.cursor is None:
+                raise ExecutionError(f"action {pos}: ADVANCE with empty cursor")
+            if not m.cursor < act.arg <= l:
+                raise ExecutionError(
+                    f"action {pos}: ADVANCE to {act.arg} from cursor {m.cursor} (l={l})"
+                )
+            for i in range(m.cursor, act.arg):
+                executions[i] += 1
+            forward_steps += act.arg - m.cursor
+            forward_cost += spec.advance_cost(m.cursor, act.arg)
+            m.cursor = act.arg
+        elif kind is ActionKind.SNAPSHOT:
+            if m.cursor is None:
+                raise ExecutionError(f"action {pos}: SNAPSHOT with empty cursor")
+            if act.arg >= schedule.slots:
+                raise ExecutionError(
+                    f"action {pos}: SNAPSHOT into slot {act.arg} exceeds budget "
+                    f"{schedule.slots}"
+                )
+            m.slots[act.arg] = m.cursor
+            snapshots_taken += 1
+        elif kind is ActionKind.RESTORE:
+            if act.arg not in m.slots:
+                raise ExecutionError(f"action {pos}: RESTORE from empty slot {act.arg}")
+            m.cursor = m.slots[act.arg]
+            restores += 1
+        elif kind is ActionKind.FREE:
+            if act.arg not in m.slots:
+                raise ExecutionError(f"action {pos}: FREE of empty slot {act.arg}")
+            del m.slots[act.arg]
+        elif kind is ActionKind.ADJOINT:
+            step = act.arg
+            if step != m.pending:
+                raise ExecutionError(
+                    f"action {pos}: ADJOINT({step}) but pending backward is {m.pending}"
+                )
+            if m.cursor != step - 1:
+                raise ExecutionError(
+                    f"action {pos}: ADJOINT({step}) requires cursor at {step - 1}, "
+                    f"cursor is {m.cursor}"
+                )
+            executions[step - 1] += 1
+            replay_steps += 1
+            replay_cost += spec.fwd_cost[step - 1]
+            backward_cost += spec.bwd_cost[step - 1]
+            m.pending -= 1
+        else:  # pragma: no cover - exhaustive enum
+            raise ExecutionError(f"action {pos}: unknown kind {kind}")
+        _charge()
+
+    if m.pending != 0:
+        raise ExecutionError(
+            f"schedule finished with backward steps {m.pending}..1 still pending"
+        )
+    if any(e < 1 for e in executions):
+        missing = [i + 1 for i, e in enumerate(executions) if e < 1]
+        raise ExecutionError(f"steps never executed forward: {missing}")
+
+    return ExecutionStats(
+        strategy=schedule.strategy,
+        length=l,
+        forward_steps=forward_steps,
+        forward_cost=forward_cost,
+        replay_steps=replay_steps,
+        replay_cost=replay_cost,
+        backward_cost=backward_cost,
+        executions=tuple(executions),
+        peak_slot_bytes=peak_slot_bytes,
+        peak_bytes=peak_bytes,
+        peak_slots=peak_slots,
+        snapshots_taken=snapshots_taken,
+        restores=restores,
+    )
+
+
+def validate(schedule: Schedule, spec: ChainSpec | None = None) -> bool:
+    """True when ``schedule`` executes without invariant violations."""
+    try:
+        simulate(schedule, spec)
+    except ExecutionError:
+        return False
+    return True

@@ -1,0 +1,97 @@
+"""Memory-over-time traces of schedule execution.
+
+Checkpointing papers plot live memory against execution progress — the
+store-all triangle versus Revolve's sawtooth.  :func:`memory_timeline`
+replays a schedule action by action and records the live checkpoint bytes
+(and cursor) after each action;
+:func:`timeline_ascii` renders several schedules on one plot for direct
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExecutionError
+from .actions import ActionKind
+from .chainspec import ChainSpec
+from .schedule import Schedule
+from .simulator import simulate
+
+__all__ = ["TimelinePoint", "memory_timeline", "timeline_ascii"]
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """Live state after one action."""
+
+    index: int  # action index
+    kind: str
+    live_slot_bytes: int
+    live_bytes: int  # slots + cursor
+    backwards_done: int
+
+
+def memory_timeline(schedule: Schedule, spec: ChainSpec | None = None) -> list[TimelinePoint]:
+    """Per-action live-byte trace (the schedule is validated first)."""
+    if spec is None:
+        spec = ChainSpec.homogeneous(schedule.length)
+    simulate(schedule, spec)  # raises on invalid schedules
+
+    slots: dict[int, int] = {}
+    cursor: int | None = 0
+    done = 0
+    out: list[TimelinePoint] = []
+    for i, act in enumerate(schedule.actions):
+        if act.kind is ActionKind.SNAPSHOT:
+            assert cursor is not None
+            slots[act.arg] = cursor
+        elif act.kind is ActionKind.RESTORE:
+            cursor = slots[act.arg]
+        elif act.kind is ActionKind.FREE:
+            del slots[act.arg]
+        elif act.kind is ActionKind.ADVANCE:
+            cursor = act.arg
+        elif act.kind is ActionKind.ADJOINT:
+            cursor = act.arg - 1
+            done += 1
+        slot_bytes = sum(spec.act_bytes[idx] for idx in slots.values())
+        cur_bytes = spec.act_bytes[cursor] if cursor is not None else 0
+        out.append(
+            TimelinePoint(
+                index=i,
+                kind=act.kind.value,
+                live_slot_bytes=slot_bytes,
+                live_bytes=slot_bytes + cur_bytes,
+                backwards_done=done,
+            )
+        )
+    return out
+
+
+def timeline_ascii(
+    schedules: dict[str, Schedule],
+    spec: ChainSpec | None = None,
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """Plot live bytes vs normalized execution progress for several
+    schedules (each schedule's x-axis is rescaled to [0, 1] so plans of
+    different lengths are comparable)."""
+    from ..experiments.report import ascii_plot
+
+    if not schedules:
+        raise ExecutionError("need at least one schedule")
+    series: dict[str, list[tuple[float, float]]] = {}
+    for name, sch in schedules.items():
+        trace = memory_timeline(sch, spec)
+        n = max(1, len(trace) - 1)
+        series[name] = [(p.index / n, float(p.live_bytes)) for p in trace]
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        title="Live checkpoint memory over execution",
+        x_label="execution progress",
+        y_label="live bytes",
+    )

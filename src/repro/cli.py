@@ -1,0 +1,396 @@
+"""Command-line regeneration of every paper artifact.
+
+Usage (also installed as the ``repro-edge`` console script)::
+
+    python -m repro table1 [--source ours|paper] [--csv]
+    python -m repro table2 | table3
+    python -m repro section5
+    python -m repro figure1 [--panel a|b|c|d] [--source ours|paper] [--csv]
+    python -m repro ablation
+    python -m repro batch-tradeoff [--model 50] [--device ODROID-XU4]
+    python -m repro viewpoint [--subjects 120]
+    python -m repro summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .edge import DEVICE_CATALOG, ODROID_XU4, TrainingWorkload
+from .experiments import (
+    PANELS,
+    batch_tradeoff_table,
+    compare_to_paper,
+    figure1_ascii,
+    figure1_panel,
+    memory_models,
+    section5_table,
+    strategy_ablation_table,
+    table1,
+    table2,
+    table3,
+)
+from .studentteacher import PipelineConfig, StudentConfig, run_pipeline
+from .units import MB
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-edge",
+        description="Regenerate artifacts of 'Training on the Edge' (IPPS 2019)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "table3"):
+        sp = sub.add_parser(name, help=f"print the paper's {name}")
+        sp.add_argument("--source", choices=("ours", "paper"), default="ours")
+        sp.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
+        sp.add_argument("--compare", action="store_true", help="side-by-side with paper values")
+
+    sub.add_parser("section5", help="Section V checkpoint_sequential formula sweep")
+
+    sp = sub.add_parser("figure1", help="Figure 1 memory-vs-rho curves")
+    sp.add_argument("--panel", choices=sorted(PANELS), default="b")
+    sp.add_argument("--source", choices=("ours", "paper"), default="paper")
+    sp.add_argument("--csv", action="store_true")
+
+    sub.add_parser("ablation", help="strategy ablation (revolve vs uniform vs sqrt)")
+
+    sub.add_parser("sensitivity", help="Figure 1 convention-sensitivity sweep")
+
+    sub.add_parser("extended", help="MobileNetV2/VGG16 through the paper's pipeline")
+
+    sp = sub.add_parser("profile", help="per-layer memory profile of a zoo model")
+    sp.add_argument("--model", type=int, choices=(18, 34, 50, 101, 152), default=50)
+    sp.add_argument("--top", type=int, default=8)
+
+    sp = sub.add_parser("pareto", help="memory/recompute Pareto frontier of a chain")
+    sp.add_argument("--length", type=int, default=152)
+
+    sp = sub.add_parser("disk-revolve", help="two-level (memory+SD) checkpointing plan")
+    sp.add_argument("--length", type=int, default=152)
+    sp.add_argument("--mem-slots", type=int, default=3)
+    sp.add_argument("--disk-cost", type=float, default=1.0, help="I/O cost in forward units")
+
+    sp = sub.add_parser("campaign", help="in-situ adaptation campaign simulation")
+    sp.add_argument("--crossings", type=float, default=60.0)
+    sp.add_argument("--target", type=float, default=0.9)
+    sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser("fleet", help="multi-node federation cost/benefit")
+    sp.add_argument("--nodes", type=int, default=10)
+    sp.add_argument("--days", type=int, default=30)
+    sp.add_argument("--period", type=int, default=5, help="federation period (0=isolated)")
+    sp.add_argument("--transfer", type=float, default=0.15)
+
+    sp = sub.add_parser("energy", help="ship-vs-local energy breakevens")
+    sp.add_argument("--image-kb", type=float, default=10.0)
+    sp.add_argument("--gflops", type=float, default=3.6, help="per-sample forward GFLOPs")
+
+    sp = sub.add_parser("batch-tradeoff", help="batch-size vs epoch-time sweep")
+    sp.add_argument("--model", type=int, choices=(18, 34, 50, 101, 152), default=50)
+    sp.add_argument("--device", choices=sorted(DEVICE_CATALOG), default=ODROID_XU4.name)
+    sp.add_argument("--images", type=int, default=10_000)
+
+    sp = sub.add_parser("viewpoint", help="Section III student-teacher pipeline")
+    sp.add_argument("--subjects", type=int, default=120)
+    sp.add_argument("--epochs", type=int, default=30)
+    sp.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("summary", help="one-screen overview of all artifacts")
+
+    sp = sub.add_parser("all", help="regenerate every artifact into a directory")
+    sp.add_argument("--outdir", default="artifacts")
+    return p
+
+
+def _emit_table(args: argparse.Namespace, generator) -> str:
+    if getattr(args, "compare", False):
+        return compare_to_paper(args.command, args.source).render()
+    result = generator(args.source)
+    table = result.as_table()
+    return table.to_csv() if args.csv else table.render()
+
+
+def _figure1(args: argparse.Namespace) -> str:
+    if args.csv:
+        lines = ["model,rho,memory_mb"]
+        for s in figure1_panel(args.panel, args.source):
+            for rho, b in s.points:
+                lines.append(f"{s.name},{rho:.4f},{b / MB:.2f}")
+        return "\n".join(lines) + "\n"
+    return figure1_ascii(args.panel, args.source)
+
+
+def _batch_tradeoff(args: argparse.Namespace) -> str:
+    from .zoo import build_resnet
+
+    model = memory_models()[args.model]
+    device = DEVICE_CATALOG[args.device]
+    workload = TrainingWorkload(
+        model=model.name,
+        chain_length=args.model,
+        slot_act_bytes_per_sample=model.account_ref.act_bytes_per_sample // args.model,
+        fixed_bytes=model.fixed_bytes,
+        flops_per_sample=float(build_resnet(args.model).total_flops_per_sample()),
+        n_images=args.images,
+    )
+    return batch_tradeoff_table(workload, device).render()
+
+
+def _viewpoint(args: argparse.Namespace) -> str:
+    cfg = PipelineConfig(
+        n_subjects=args.subjects,
+        camera_skew_deg=60.0,
+        angle_bins=(15.0, 30.0, 45.0, 60.0),
+        student=StudentConfig(epochs=args.epochs),
+        seed=args.seed,
+    )
+    res = run_pipeline(cfg)
+    footer = (
+        f"\nskew-angle recovery: {res.skew_recovery:+.3f}\n"
+        f"harvested-set storage at 10 kB/image: {res.storage_bytes_needed / MB:.1f} MB"
+    )
+    return res.summary() + footer
+
+
+def _sensitivity() -> str:
+    from .experiments import sensitivity_table
+
+    return sensitivity_table().render()
+
+
+def _extended() -> str:
+    from .experiments import extended_model_table
+
+    return extended_model_table().render()
+
+
+def _profile(args: argparse.Namespace) -> str:
+    from .memory import memory_profile
+    from .zoo import build_resnet
+
+    return memory_profile(build_resnet(args.model)).render(args.top)
+
+
+def _pareto(args: argparse.Namespace) -> str:
+    from .checkpointing import pareto_frontier
+
+    lines = [
+        f"Memory/recompute Pareto frontier, chain length {args.length}",
+        f"{'slots':>6}{'extra fwd':>11}{'repeats':>9}{'rho(bwd=fwd)':>14}",
+    ]
+    pts = pareto_frontier(args.length)
+    shown = pts if len(pts) <= 30 else pts[:15] + pts[-15:]
+    for p in shown:
+        lines.append(
+            f"{p.slots:>6}{p.extra_forwards:>11}{p.repetition:>9}"
+            f"{p.rho(args.length):>14.3f}"
+        )
+    if len(pts) > 30:
+        lines.insert(17, f"{'...':>6} ({len(pts) - 30} points elided)")
+    return "\n".join(lines)
+
+
+def _disk_revolve(args: argparse.Namespace) -> str:
+    from .checkpointing import (
+        disk_revolve_cost,
+        disk_revolve_schedule,
+        opt_forwards,
+        simulate_tiered,
+    )
+
+    l, c, d = args.length, args.mem_slots, args.disk_cost
+    sch = disk_revolve_schedule(l, c, d, d)
+    st = simulate_tiered(sch)
+    mem_only = opt_forwards(l, c)
+    return (
+        f"Two-level checkpointing: l={l}, memory slots={c}, disk I/O cost={d}\n"
+        f"  memory-only Revolve cost : {mem_only}\n"
+        f"  two-level optimal cost   : {disk_revolve_cost(l, c, d, d):.1f}\n"
+        f"  disk checkpoints         : {st.disk_writes} "
+        f"(peak {st.peak_disk_slots} resident)\n"
+        f"  peak memory slots        : {st.peak_memory_slots}\n"
+        f"  pure forward steps       : {st.forward_steps}"
+    )
+
+
+def _campaign(args: argparse.Namespace) -> str:
+    from .edge import CampaignConfig, ODROID_XU4, TrainingWorkload, run_campaign
+
+    workload = TrainingWorkload(
+        model="student",
+        chain_length=18,
+        slot_act_bytes_per_sample=2 * MB,
+        fixed_bytes=180 * MB,
+        flops_per_sample=3.6e9,
+        n_images=1,
+        batch_size=8,
+    )
+    cfg = CampaignConfig(
+        workload=workload,
+        target_accuracy=args.target,
+        crossings_per_day=args.crossings,
+        seed=args.seed,
+    )
+    res = run_campaign(cfg, ODROID_XU4)
+    lines = [
+        f"In-situ campaign on {ODROID_XU4.name}: {args.crossings:.0f} crossings/day, "
+        f"target {args.target:.2f}",
+        f"{'day':>4}{'harvested':>11}{'accuracy':>10}{'train h':>9}",
+    ]
+    for d in res.days:
+        lines.append(
+            f"{d.day:>4}{d.harvested_total:>11}{d.accuracy:>10.3f}"
+            f"{d.train_wall_s / 3600:>9.1f}"
+        )
+    verdict = (
+        f"target reached on day {res.target_day}"
+        if res.reached_target
+        else "target NOT reached"
+    )
+    lines.append(f"{verdict}; storage used {res.storage_bytes / MB:.1f} MB")
+    return "\n".join(lines)
+
+
+def _fleet(args: argparse.Namespace) -> str:
+    from .edge import FleetConfig, simulate_fleet
+    from .units import GB
+
+    iso = simulate_fleet(
+        FleetConfig(n_nodes=args.nodes, days=args.days, federation_period=0)
+    )
+    fed = simulate_fleet(
+        FleetConfig(
+            n_nodes=args.nodes,
+            days=args.days,
+            federation_period=args.period,
+            transfer_value=args.transfer,
+        )
+    )
+    return (
+        f"Fleet of {args.nodes} nodes over {args.days} days "
+        f"(transfer value {args.transfer}):\n"
+        f"  isolated : mean {iso.mean_final_accuracy:.3f}  "
+        f"worst {iso.worst_final_accuracy:.3f}  radio 0.0 GB\n"
+        f"  federated: mean {fed.mean_final_accuracy:.3f}  "
+        f"worst {fed.worst_final_accuracy:.3f}  "
+        f"radio {fed.radio_bytes_total / GB:.1f} GB (period {args.period} days)"
+    )
+
+
+def _energy(args: argparse.Namespace) -> str:
+    from .edge import EnergyModel, breakeven_epochs, streaming_comparison
+
+    model = EnergyModel()
+    image_bytes = int(args.image_kb * 1024)
+    flops = args.gflops * 1e9
+    be_plain = breakeven_epochs(image_bytes, flops, model=model, rho=1.0)
+    be_ckpt = breakeven_epochs(image_bytes, flops, model=model, rho=1.5)
+    stream = streaming_comparison(1.0, 20 * image_bytes, flops, model=model)
+    return (
+        f"Energy model: {model.radio_j_per_byte * 1e6:.1f} uJ/B radio, "
+        f"{model.compute_j_per_flop * 1e9:.2f} nJ/FLOP compute\n"
+        f"Training ({args.image_kb:.0f} kB images, {args.gflops:.1f} GFLOP fwd/sample):\n"
+        f"  local-vs-ship breakeven: {be_plain:.4f} epochs (rho=1), "
+        f"{be_ckpt:.4f} (rho=1.5)\n"
+        f"Streaming inference (1 fps, raw-ish {20 * args.image_kb:.0f} kB frames, 1 day):\n"
+        f"  ship {stream.ship_joules / 1000:.1f} kJ vs local "
+        f"{stream.local_joules / 1000:.1f} kJ -> "
+        f"{'local' if stream.local_wins else 'ship'} wins"
+    )
+
+
+def _all(args: argparse.Namespace) -> str:
+    """Regenerate every table/figure artifact into ``--outdir``."""
+    import pathlib
+
+    from .experiments import (
+        extended_model_table,
+        section5_table,
+        sensitivity_table,
+        strategy_ablation_table,
+    )
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    for which, gen in (("table1", table1), ("table2", table2), ("table3", table3)):
+        for source in ("ours", "paper"):
+            path = outdir / f"{which}_{source}.txt"
+            path.write_text(gen(source).as_table().render())
+            written.append(path)
+        path = outdir / f"{which}_compare.txt"
+        path.write_text(compare_to_paper(which, "ours").render())
+        written.append(path)
+
+    (outdir / "section5.txt").write_text(section5_table().render())
+    written.append(outdir / "section5.txt")
+
+    for panel in sorted(PANELS):
+        path = outdir / f"figure1_{panel}.txt"
+        path.write_text(figure1_ascii(panel, "paper"))
+        written.append(path)
+        csv_path = outdir / f"figure1_{panel}.csv"
+        lines = ["model,rho,memory_mb"]
+        for s in figure1_panel(panel, "paper"):
+            for rho, b in s.points:
+                lines.append(f"{s.name},{rho:.4f},{b / MB:.2f}")
+        csv_path.write_text("\n".join(lines) + "\n")
+        written.append(csv_path)
+
+    (outdir / "ablation_strategies.txt").write_text(strategy_ablation_table().render())
+    (outdir / "sensitivity.txt").write_text(sensitivity_table().render())
+    (outdir / "extended_models.txt").write_text(extended_model_table().render())
+    written += [
+        outdir / "ablation_strategies.txt",
+        outdir / "sensitivity.txt",
+        outdir / "extended_models.txt",
+    ]
+    return "\n".join(f"wrote {p}" for p in written)
+
+
+def _summary(_args: argparse.Namespace) -> str:
+    parts = [
+        table1("ours").as_table().render(),
+        section5_table(max_segments=8).render(),
+        figure1_ascii("b", "paper"),
+        strategy_ablation_table(lengths=(50, 152), slot_budgets=(3, 8, 21)).render(),
+    ]
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table1": lambda a: _emit_table(a, table1),
+        "table2": lambda a: _emit_table(a, table2),
+        "table3": lambda a: _emit_table(a, table3),
+        "section5": lambda a: section5_table().render(),
+        "figure1": _figure1,
+        "ablation": lambda a: strategy_ablation_table().render(),
+        "sensitivity": lambda a: _sensitivity(),
+        "extended": lambda a: _extended(),
+        "profile": _profile,
+        "pareto": _pareto,
+        "disk-revolve": _disk_revolve,
+        "campaign": _campaign,
+        "fleet": _fleet,
+        "energy": _energy,
+        "batch-tradeoff": _batch_tradeoff,
+        "viewpoint": _viewpoint,
+        "summary": _summary,
+        "all": _all,
+    }
+    out = handlers[args.command](args)
+    sys.stdout.write(out if out.endswith("\n") else out + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Edge-platform substrate: devices, workloads, storage, time simulation."""
+
+from .device import (
+    DEVICE_CATALOG,
+    GENERIC_2GB,
+    JETSON_NANO,
+    ODROID_XU4,
+    RASPBERRY_PI_3,
+    RASPBERRY_PI_4,
+    Device,
+)
+from .fleet import FleetConfig, FleetDay, FleetResult, simulate_fleet
+from .power import (
+    EnergyComparison,
+    EnergyModel,
+    breakeven_epochs,
+    compare_strategies_energy,
+    streaming_comparison,
+)
+from .storage import PAPER_IMAGE_COUNT, PAPER_IMAGE_KB, ImageStore
+from .workload import TrainingWorkload
+from .campaign import (
+    CampaignConfig,
+    CampaignDay,
+    CampaignResult,
+    LearningCurve,
+    run_campaign,
+)
+from .simulator import (
+    DutyCycleResult,
+    DutyCycleSimulator,
+    EpochEstimate,
+    batch_efficiency,
+    estimate_epoch,
+    sweep_batch_sizes,
+)
+
+__all__ = [
+    "Device",
+    "ODROID_XU4",
+    "RASPBERRY_PI_3",
+    "RASPBERRY_PI_4",
+    "JETSON_NANO",
+    "GENERIC_2GB",
+    "DEVICE_CATALOG",
+    "ImageStore",
+    "PAPER_IMAGE_KB",
+    "PAPER_IMAGE_COUNT",
+    "TrainingWorkload",
+    "batch_efficiency",
+    "EpochEstimate",
+    "estimate_epoch",
+    "sweep_batch_sizes",
+    "DutyCycleSimulator",
+    "DutyCycleResult",
+    "LearningCurve",
+    "CampaignConfig",
+    "CampaignDay",
+    "CampaignResult",
+    "run_campaign",
+    "EnergyModel",
+    "EnergyComparison",
+    "compare_strategies_energy",
+    "breakeven_epochs",
+    "streaming_comparison",
+    "FleetConfig",
+    "FleetDay",
+    "FleetResult",
+    "simulate_fleet",
+]

@@ -1,0 +1,134 @@
+"""Fleet simulation: many nodes, with or without model exchange.
+
+Section I argues that "transferring a model update back and forth
+between the different nodes might introduce excessive communication" —
+and Section III that viewpoint-specialized models may not even *benefit*
+other nodes.  This simulator quantifies both sides for a fleet of
+Array-of-Things nodes:
+
+* **isolated** — each node adapts only on its own harvest (the paper's
+  recommendation for viewpoint-specific learning);
+* **federated** — nodes periodically average their knowledge, modelled
+  through the learning curve: sharing transfers only the
+  *viewpoint-generic* fraction of another node's examples
+  (``transfer_value``), at a per-round radio cost of one model upload +
+  download per node.
+
+The result reports fleet accuracy trajectories and total radio bytes, so
+the communication/benefit trade-off the paper gestures at becomes a
+number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PlanningError
+from .campaign import LearningCurve
+
+__all__ = ["FleetConfig", "FleetDay", "FleetResult", "simulate_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet parameters."""
+
+    n_nodes: int = 10
+    days: int = 30
+    crossings_per_day_mean: float = 60.0
+    images_per_crossing: float = 18.0
+    #: heterogeneity: per-node traffic is Gamma-distributed with this shape
+    traffic_shape: float = 2.0
+    curve: LearningCurve = field(default_factory=LearningCurve)
+    #: fraction of a peer's examples that transfer across viewpoints
+    transfer_value: float = 0.15
+    #: days between federation rounds (0 = isolated)
+    federation_period: int = 0
+    model_bytes: int = 50_000_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.days < 1:
+            raise PlanningError("need n_nodes >= 1 and days >= 1")
+        if not 0.0 <= self.transfer_value <= 1.0:
+            raise PlanningError("transfer_value must be in [0, 1]")
+        if self.federation_period < 0:
+            raise PlanningError("federation_period must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetDay:
+    """Fleet-level snapshot."""
+
+    day: int
+    mean_accuracy: float
+    min_accuracy: float
+    radio_bytes_total: int
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Trajectories plus totals."""
+
+    days: tuple[FleetDay, ...]
+    final_accuracies: tuple[float, ...]
+    radio_bytes_total: int
+
+    @property
+    def mean_final_accuracy(self) -> float:
+        return float(np.mean(self.final_accuracies))
+
+    @property
+    def worst_final_accuracy(self) -> float:
+        return float(np.min(self.final_accuracies))
+
+    def day_reaching(self, target: float) -> int | None:
+        """First day the fleet *minimum* accuracy clears ``target``."""
+        for d in self.days:
+            if d.min_accuracy >= target:
+                return d.day
+        return None
+
+
+def simulate_fleet(cfg: FleetConfig) -> FleetResult:
+    """Run the fleet; accuracy follows each node's effective sample count.
+
+    A node's effective samples = its own harvest + ``transfer_value`` ×
+    the mean *other-node* harvest shared at federation rounds.  Radio
+    cost per round = 2 × model_bytes × n_nodes (upload + download).
+    """
+    rng = np.random.default_rng(cfg.seed)
+    # Per-node mean traffic: Gamma-heterogeneous around the fleet mean.
+    scale = cfg.crossings_per_day_mean / cfg.traffic_shape
+    node_rates = rng.gamma(cfg.traffic_shape, scale, size=cfg.n_nodes)
+    own = np.zeros(cfg.n_nodes)
+    borrowed = np.zeros(cfg.n_nodes)
+    radio = 0
+    days: list[FleetDay] = []
+    for day in range(1, cfg.days + 1):
+        crossings = rng.poisson(node_rates)
+        own += crossings * cfg.images_per_crossing
+        if cfg.federation_period and day % cfg.federation_period == 0:
+            total = own.sum()
+            for i in range(cfg.n_nodes):
+                others_mean = (total - own[i]) / max(1, cfg.n_nodes - 1)
+                borrowed[i] = cfg.transfer_value * others_mean
+            radio += 2 * cfg.model_bytes * cfg.n_nodes
+        effective = own + borrowed
+        accs = np.array([cfg.curve.accuracy(int(e)) for e in effective])
+        days.append(
+            FleetDay(
+                day=day,
+                mean_accuracy=float(accs.mean()),
+                min_accuracy=float(accs.min()),
+                radio_bytes_total=radio,
+            )
+        )
+    final = np.array([cfg.curve.accuracy(int(e)) for e in own + borrowed])
+    return FleetResult(
+        days=tuple(days),
+        final_accuracies=tuple(float(a) for a in final),
+        radio_bytes_total=radio,
+    )

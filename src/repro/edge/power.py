@@ -1,0 +1,161 @@
+"""Energy accounting: ship data to the cloud, or process it in place?
+
+Section I motivates edge processing with "reduced power and bandwidth
+requirements".  This module is a *calculator*, not an advocate — the
+winner depends on radio and silicon efficiency, both of which span
+orders of magnitude across deployments, so every coefficient is a
+parameter and the interesting outputs are breakevens:
+
+* :func:`compare_strategies_energy` / :func:`breakeven_epochs` — the
+  *training* question: upload the harvested set once vs run ``epochs``
+  of local (possibly checkpointed, ρ > 1) training.  With compressed
+  10 kB images and multi-GFLOP models, shipping the *training set* is
+  often energetically cheap — the in-situ case rests on privacy,
+  bandwidth provisioning and continuous freshness, which this module
+  prices but does not monetize.
+* :func:`streaming_comparison` — the *inference* question the paper's
+  platform actually faces: stream every camera frame to a central model
+  forever, vs run inference on the node.  Here the balance tips with
+  frame size × fps against per-frame FLOPs.
+
+Defaults: ~5 µJ/byte (LTE-class radio; WiFi can be 10× cheaper) and
+~0.1 nJ/FLOP (embedded-GPU class, ~10 GFLOPS/W effective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "EnergyModel",
+    "EnergyComparison",
+    "compare_strategies_energy",
+    "breakeven_epochs",
+    "streaming_comparison",
+]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-unit energy costs of a node."""
+
+    radio_j_per_byte: float = 5e-6
+    compute_j_per_flop: float = 1e-10
+    idle_w: float = 2.0  # baseline draw, charged to wall-clock seconds
+
+    def __post_init__(self) -> None:
+        if self.radio_j_per_byte < 0 or self.compute_j_per_flop < 0 or self.idle_w < 0:
+            raise ValueError("energy coefficients must be non-negative")
+
+    def transfer_energy(self, nbytes: float) -> float:
+        """Joules to move ``nbytes`` over the radio."""
+        if nbytes < 0:
+            raise ValueError("bytes must be non-negative")
+        return nbytes * self.radio_j_per_byte
+
+    def compute_energy(self, flops: float) -> float:
+        """Joules to execute ``flops``."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops * self.compute_j_per_flop
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Energy of both strategies for one adaptation task."""
+
+    ship_joules: float
+    local_joules: float
+    n_images: int
+    epochs: int
+
+    @property
+    def local_wins(self) -> bool:
+        return self.local_joules <= self.ship_joules
+
+    @property
+    def ratio(self) -> float:
+        """local / ship — below 1 means in-situ training is cheaper."""
+        if self.ship_joules == 0:
+            return float("inf") if self.local_joules > 0 else 1.0
+        return self.local_joules / self.ship_joules
+
+
+def compare_strategies_energy(
+    n_images: int,
+    image_bytes: int,
+    flops_per_sample: float,
+    epochs: int,
+    model: EnergyModel = EnergyModel(),
+    rho: float = 1.0,
+    bwd_ratio: float = 2.0,
+    model_bytes: float = 0.0,
+) -> EnergyComparison:
+    """Price ship-to-cloud vs train-locally for one adaptation round.
+
+    ``ship`` uploads all images once and downloads ``model_bytes`` back;
+    ``local`` runs ``epochs`` fwd+bwd passes over the set at recompute
+    factor ``rho`` (which multiplies the *forward* recomputation only).
+    """
+    if n_images < 0 or epochs < 1:
+        raise ValueError("need n_images >= 0 and epochs >= 1")
+    if rho < 1.0:
+        raise ValueError("rho must be >= 1")
+    ship = model.transfer_energy(n_images * image_bytes + model_bytes)
+    fwd = flops_per_sample
+    # one fwd (+ recompute overhead) + backward, per sample per epoch
+    step_flops = fwd * (1.0 + (rho - 1.0) * (1.0 + bwd_ratio)) + fwd * bwd_ratio
+    local = model.compute_energy(n_images * epochs * step_flops)
+    return EnergyComparison(
+        ship_joules=ship, local_joules=local, n_images=n_images, epochs=epochs
+    )
+
+
+def breakeven_epochs(
+    image_bytes: int,
+    flops_per_sample: float,
+    model: EnergyModel = EnergyModel(),
+    rho: float = 1.0,
+    bwd_ratio: float = 2.0,
+) -> float:
+    """Epochs of local training that cost as much as shipping the data.
+
+    Independent of the dataset size (both sides scale linearly in it).
+    Returns ``inf`` when local training is free, 0 when the radio is.
+    """
+    per_image_ship = model.transfer_energy(image_bytes)
+    fwd = flops_per_sample
+    step_flops = fwd * (1.0 + (rho - 1.0) * (1.0 + bwd_ratio)) + fwd * bwd_ratio
+    per_image_epoch = model.compute_energy(step_flops)
+    if per_image_epoch == 0:
+        return float("inf")
+    return per_image_ship / per_image_epoch
+
+
+def streaming_comparison(
+    fps: float,
+    frame_bytes: int,
+    inference_flops_per_frame: float,
+    seconds: float = 86_400.0,
+    model: EnergyModel = EnergyModel(),
+) -> EnergyComparison:
+    """Energy of streaming frames out vs running inference locally.
+
+    This is the Section I bandwidth/power argument for edge *inference*
+    (counting people, cars, floods on the Waggle nodes): ``ship``
+    uploads every frame for the given duration; ``local`` runs the
+    model per frame on the node.
+    """
+    if fps <= 0 or frame_bytes <= 0 or seconds <= 0:
+        raise ValueError("fps, frame_bytes and seconds must be positive")
+    if inference_flops_per_frame < 0:
+        raise ValueError("inference_flops_per_frame must be non-negative")
+    n_frames = fps * seconds
+    ship = model.transfer_energy(n_frames * frame_bytes)
+    local = model.compute_energy(n_frames * inference_flops_per_frame)
+    return EnergyComparison(
+        ship_joules=ship,
+        local_joules=local,
+        n_images=int(n_frames),
+        epochs=1,
+    )

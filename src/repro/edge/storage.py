@@ -1,0 +1,59 @@
+"""On-node dataset storage sizing (paper Section III).
+
+The paper argues harvested training images need not be stored at high
+resolution: at 224×224 a JPEG-compressed frame is ≲ 10 kB, so even a
+large harvested dataset fits the node's SD card.  (The paper says 100,000
+such images need "about 10 GB"; at 10 kB each the exact figure is ~1 GB —
+``bench_student_teacher`` prints both, and EXPERIMENTS.md notes the
+discrepancy.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MemoryBudgetError
+from ..units import KB
+
+__all__ = ["ImageStore", "PAPER_IMAGE_KB", "PAPER_IMAGE_COUNT"]
+
+#: The paper's per-image size estimate at 224x224.
+PAPER_IMAGE_KB: float = 10.0
+#: The paper's example harvested-dataset size.
+PAPER_IMAGE_COUNT: int = 100_000
+
+
+@dataclass(frozen=True)
+class ImageStore:
+    """A bounded image store on flash/SD storage."""
+
+    capacity_bytes: int
+    image_bytes: int = int(PAPER_IMAGE_KB * KB)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        if self.image_bytes <= 0:
+            raise ValueError("image size must be positive")
+
+    def dataset_bytes(self, n_images: int) -> int:
+        """Bytes needed for ``n_images``."""
+        if n_images < 0:
+            raise ValueError("image count must be non-negative")
+        return n_images * self.image_bytes
+
+    @property
+    def max_images(self) -> int:
+        """Largest dataset the store can hold."""
+        return self.capacity_bytes // self.image_bytes
+
+    def fits(self, n_images: int) -> bool:
+        return self.dataset_bytes(n_images) <= self.capacity_bytes
+
+    def require(self, n_images: int) -> None:
+        """Raise :class:`~repro.errors.MemoryBudgetError` if it won't fit."""
+        need = self.dataset_bytes(n_images)
+        if need > self.capacity_bytes:
+            raise MemoryBudgetError(
+                f"{n_images} images need {need} B > capacity {self.capacity_bytes} B"
+            )

@@ -1,0 +1,51 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so downstream users can catch library failures
+distinctly from programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "GraphError",
+    "ScheduleError",
+    "ExecutionError",
+    "MemoryBudgetError",
+    "CalibrationError",
+    "PlanningError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """A tensor shape is invalid or incompatible with a layer."""
+
+
+class GraphError(ReproError):
+    """A network graph is malformed (cycles, dangling inputs, ...)."""
+
+
+class ScheduleError(ReproError):
+    """A checkpoint schedule violates a structural invariant."""
+
+
+class ExecutionError(ReproError):
+    """A schedule could not be executed (missing activation, bad slot...)."""
+
+
+class MemoryBudgetError(ReproError):
+    """A requested configuration cannot fit the given memory budget."""
+
+
+class CalibrationError(ReproError):
+    """Calibration data is missing or inconsistent."""
+
+
+class PlanningError(ReproError):
+    """The planner could not satisfy the requested constraints."""

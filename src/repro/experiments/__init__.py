@@ -1,0 +1,68 @@
+"""Paper-artifact generators: Tables I-III, Section V, Figure 1, ablations."""
+
+from .report import Table, ascii_plot
+from .tables import (
+    TableResult,
+    compare_to_paper,
+    memory_models,
+    table1,
+    table2,
+    table3,
+)
+from .section5 import Section5Row, section5_sweep, section5_table
+from .figure1 import (
+    PANELS,
+    Figure1Series,
+    default_rhos,
+    figure1_ascii,
+    figure1_panel,
+)
+from .extended import ExtendedRow, extended_model_rows, extended_model_table
+from .sensitivity import (
+    SensitivityPoint,
+    fit_rho,
+    sensitivity_sweep,
+    sensitivity_table,
+)
+from .ablation import (
+    BatchPoint,
+    HarvestPoint,
+    batch_tradeoff,
+    batch_tradeoff_table,
+    harvest_ablation,
+    strategy_ablation,
+    strategy_ablation_table,
+)
+
+__all__ = [
+    "Table",
+    "ascii_plot",
+    "TableResult",
+    "table1",
+    "table2",
+    "table3",
+    "compare_to_paper",
+    "memory_models",
+    "Section5Row",
+    "section5_sweep",
+    "section5_table",
+    "PANELS",
+    "Figure1Series",
+    "default_rhos",
+    "figure1_panel",
+    "figure1_ascii",
+    "strategy_ablation",
+    "strategy_ablation_table",
+    "BatchPoint",
+    "batch_tradeoff",
+    "batch_tradeoff_table",
+    "HarvestPoint",
+    "harvest_ablation",
+    "SensitivityPoint",
+    "fit_rho",
+    "sensitivity_sweep",
+    "sensitivity_table",
+    "ExtendedRow",
+    "extended_model_rows",
+    "extended_model_table",
+]

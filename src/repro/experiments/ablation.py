@@ -1,0 +1,177 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* :func:`strategy_ablation` — Section VI's claim that full binomial
+  checkpointing beats ``checkpoint_sequential``: ρ at equal slot budgets
+  for every strategy, per chain length.
+* :func:`batch_tradeoff` — Section VI's closing remark: larger batches
+  raise hardware efficiency, so spending recompute (checkpointing) to
+  afford a bigger batch can *lower* total epoch time.
+* :func:`harvest_ablation` — Section III pipeline: label-source and
+  confidence-threshold effects on harvested-label purity and student
+  accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..checkpointing import compare_strategies
+from ..edge import Device, TrainingWorkload, sweep_batch_sizes
+from ..studentteacher import (
+    PipelineConfig,
+    StudentConfig,
+    TeacherModel,
+    ViewpointWorld,
+    harvest_labels,
+    track_episode,
+)
+from .report import Table
+
+__all__ = [
+    "strategy_ablation",
+    "strategy_ablation_table",
+    "BatchPoint",
+    "batch_tradeoff",
+    "batch_tradeoff_table",
+    "HarvestPoint",
+    "harvest_ablation",
+]
+
+
+def strategy_ablation(
+    lengths: tuple[int, ...] = (18, 34, 50, 101, 152),
+    slot_budgets: tuple[int, ...] = (3, 5, 8, 13, 21),
+) -> dict[tuple[int, int], dict[str, float]]:
+    """ρ per strategy for every (chain length, slot budget) pair."""
+    return {
+        (l, c): compare_strategies(l, c)
+        for l in lengths
+        for c in slot_budgets
+    }
+
+
+def strategy_ablation_table(
+    lengths: tuple[int, ...] = (18, 34, 50, 101, 152),
+    slot_budgets: tuple[int, ...] = (3, 5, 8, 13, 21),
+) -> Table:
+    """Render the ablation: revolve vs uniform vs sqrt ρ at equal memory."""
+    data = strategy_ablation(lengths, slot_budgets)
+    cells = []
+    rows = []
+    for l in lengths:
+        for c in slot_budgets:
+            rows.append(f"l={l},c={c}")
+            entry = data[(l, c)]
+
+            def fmt(v: float) -> str:
+                return f"{v:.3f}" if v != float("inf") else "inf"
+
+            cells.append([fmt(entry["revolve"]), fmt(entry["uniform"]), fmt(entry["sqrt"])])
+    return Table(
+        title="Strategy ablation: recompute factor at equal slot budget",
+        col_labels=["revolve", "uniform", "sqrt"],
+        row_labels=rows,
+        cells=cells,
+        row_header="chain",
+    )
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One batch size's outcome in the throughput trade-off."""
+
+    batch_size: int
+    rho: float
+    strategy: str
+    efficiency: float
+    epoch_seconds: float
+    memory_mb: float
+
+
+def batch_tradeoff(workload: TrainingWorkload, device: Device, batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32)) -> list[BatchPoint]:
+    """Epoch time across batch sizes with memory-planned checkpointing."""
+    out = []
+    for est in sweep_batch_sizes(workload, device, batch_sizes):
+        out.append(
+            BatchPoint(
+                batch_size=est.batch_size,
+                rho=est.plan.rho,
+                strategy=est.plan.strategy,
+                efficiency=est.efficiency,
+                epoch_seconds=est.epoch_seconds,
+                memory_mb=est.plan.memory_bytes / (1024 * 1024),
+            )
+        )
+    return out
+
+
+def batch_tradeoff_table(workload: TrainingWorkload, device: Device, batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32)) -> Table:
+    """Render the batch-size trade-off sweep."""
+    points = batch_tradeoff(workload, device, batch_sizes)
+    cells = [
+        [
+            f"{p.rho:.3f}",
+            p.strategy,
+            f"{p.efficiency:.2f}",
+            f"{p.memory_mb:.0f}",
+            f"{p.epoch_seconds:.0f}",
+        ]
+        for p in points
+    ]
+    return Table(
+        title=f"Batch-size trade-off: {workload.model} on {device.name}",
+        col_labels=["rho", "strategy", "efficiency", "memory(MB)", "epoch(s)"],
+        row_labels=[str(p.batch_size) for p in points],
+        cells=cells,
+        row_header="batch",
+    )
+
+
+@dataclass(frozen=True)
+class HarvestPoint:
+    """Harvest quality under one labelling policy."""
+
+    label_source: str
+    confidence_threshold: float
+    samples: int
+    purity: float
+    tracks_labelled: int
+
+
+def harvest_ablation(
+    cfg: PipelineConfig | None = None,
+    thresholds: tuple[float, ...] = (0.5, 0.7, 0.9, 0.99),
+) -> list[HarvestPoint]:
+    """Label purity per (label source, confidence threshold).
+
+    Shows why the paper's "identify in the last frame" rule matters: with
+    aspect confusion, max-confidence labelling confidently mislabels
+    skewed frames, lowering purity.
+    """
+    cfg = cfg or PipelineConfig(n_subjects=80, student=StudentConfig(epochs=5))
+    rng = np.random.default_rng(cfg.seed)
+    world = ViewpointWorld(num_classes=cfg.num_classes, feature_dim=cfg.feature_dim, rng=rng)
+    x_tr, y_tr = world.sample_frontal(cfg.teacher_train_per_class)
+    teacher = TeacherModel.fit(x_tr, y_tr)
+    episode = world.generate_episode(
+        n_subjects=cfg.n_subjects,
+        frames_per_crossing=cfg.frames_per_crossing,
+        camera_skew_deg=cfg.camera_skew_deg,
+    )
+    assignments = track_episode(episode)
+    out = []
+    for source in ("track_end", "max_confidence"):
+        for thr in thresholds:
+            h = harvest_labels(episode, assignments, teacher, confidence_threshold=thr, label_source=source)
+            out.append(
+                HarvestPoint(
+                    label_source=source,
+                    confidence_threshold=thr,
+                    samples=len(h),
+                    purity=h.label_purity,
+                    tracks_labelled=h.tracks_labelled,
+                )
+            )
+    return out

@@ -1,0 +1,109 @@
+"""Beyond the paper's zoo: MobileNetV2 and VGG through the same pipeline.
+
+The paper tabulates only ResNets.  Running the identical accounting and
+planning machinery over an edge-native model (MobileNetV2) and a
+weight-heavy classic (VGG-16) checks that the framework's conclusions
+are architecture-generic — and surfaces the non-obvious one: parameter
+efficiency does not imply activation efficiency, so MobileNetV2 *also*
+needs checkpointing at moderate batch sizes on a 2 GB node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..checkpointing import plan_training
+from ..errors import MemoryBudgetError
+from ..graph import Graph, homogenize
+from ..memory import account
+from ..units import GB, MB
+from ..zoo import build_resnet, mobilenet_v2, vgg16
+from .report import Table
+
+__all__ = ["ExtendedRow", "extended_model_rows", "extended_model_table"]
+
+#: nominal chain depths used for homogenization
+_DEPTHS = {"ResNet18": 18, "MobileNetV2": 53, "VGG16": 16}
+
+
+def _models() -> dict[str, Graph]:
+    return {
+        "ResNet18": build_resnet(18),
+        "MobileNetV2": mobilenet_v2(),
+        "VGG16": vgg16(),
+    }
+
+
+@dataclass(frozen=True)
+class ExtendedRow:
+    """One (model, batch) evaluation against the 2 GB node."""
+
+    model: str
+    batch_size: int
+    weight_mb: float
+    fixed_mb: float
+    act_mb_per_sample: float
+    store_all_mb: float
+    strategy: str
+    rho: float
+    planned_mb: float
+
+
+def extended_model_rows(batch_sizes: tuple[int, ...] = (1, 8, 32, 64)) -> list[ExtendedRow]:
+    """Account + plan every model at every batch size on a 2 GB budget."""
+    rows = []
+    for name, graph in _models().items():
+        acct = account(graph)
+        chain = homogenize(graph, depth=_DEPTHS[name])
+        for k in batch_sizes:
+            store_all = acct.total_bytes(k)
+            try:
+                plan = plan_training(
+                    l=chain.length,
+                    fixed_bytes=acct.fixed_bytes,
+                    slot_bytes=k * chain.act_bytes,
+                    budget_bytes=2 * GB,
+                    model=name,
+                )
+                strategy, rho, planned = plan.strategy, plan.rho, plan.memory_bytes
+            except MemoryBudgetError:
+                strategy, rho, planned = "impossible", float("inf"), float("nan")
+            rows.append(
+                ExtendedRow(
+                    model=name,
+                    batch_size=k,
+                    weight_mb=acct.weight_bytes / MB,
+                    fixed_mb=acct.fixed_bytes / MB,
+                    act_mb_per_sample=acct.act_bytes_per_sample / MB,
+                    store_all_mb=store_all / MB,
+                    strategy=strategy,
+                    rho=rho,
+                    planned_mb=planned / MB,
+                )
+            )
+    return rows
+
+
+def extended_model_table(batch_sizes: tuple[int, ...] = (1, 8, 32, 64)) -> Table:
+    rows = extended_model_rows(batch_sizes)
+    cells = []
+    labels = []
+    for r in rows:
+        labels.append(f"{r.model}@{r.batch_size}")
+        cells.append(
+            [
+                f"{r.weight_mb:.0f}",
+                f"{r.act_mb_per_sample:.0f}",
+                f"{r.store_all_mb:.0f}",
+                r.strategy,
+                f"{r.rho:.3f}" if r.rho != float("inf") else "-",
+                f"{r.planned_mb:.0f}" if r.planned_mb == r.planned_mb else "-",
+            ]
+        )
+    return Table(
+        title="Extended zoo on a 2 GB node (MB; plan = minimal-rho fit)",
+        col_labels=["weights", "act/sample", "store-all", "strategy", "rho", "planned"],
+        row_labels=labels,
+        cells=cells,
+        row_header="model@batch",
+    )

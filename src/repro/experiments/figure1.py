@@ -1,0 +1,125 @@
+"""Figure 1 reproduction: peak memory vs recompute factor ρ.
+
+For each ``LinearResNet_x`` (the homogenized chain of depth x with the
+same weight and total-activation memory as ResNet_x) and each panel
+(batch, image) ∈ {(1,224), (8,224), (1,500), (8,500)}, we sweep ρ and at
+each ρ binary-search the minimal Revolve slot count whose recompute
+overhead fits the ``2ρl`` budget, then convert slots to bytes:
+``M(ρ) = M_fixed + (c+1)·k·M_act(img)/l``.
+
+Two coefficient sources, as for the tables: ``"ours"`` (first-principles
+graphs, homogenized) and ``"paper"`` (Table-I-fitted coefficients — at
+ρ = 1 these reproduce the published store-all footprints exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..checkpointing import memory_curve
+from ..memory import calibrated_models
+from ..units import GB, MB
+from ..zoo import RESNET_DEPTHS
+from .report import ascii_plot
+from .tables import memory_models
+
+__all__ = ["PANELS", "Figure1Series", "figure1_panel", "figure1_ascii", "default_rhos"]
+
+#: The paper's four panels: (label, batch size, image size).
+PANELS: dict[str, tuple[int, int]] = {
+    "a": (1, 224),
+    "b": (8, 224),
+    "c": (1, 500),
+    "d": (8, 500),
+}
+
+
+def default_rhos(n: int = 41, lo: float = 1.0, hi: float = 3.0) -> tuple[float, ...]:
+    """The ρ grid used for the curves (paper plots roughly ρ ∈ [1, 3])."""
+    if n < 2:
+        raise ValueError("need at least 2 grid points")
+    step = (hi - lo) / (n - 1)
+    return tuple(lo + i * step for i in range(n))
+
+
+@dataclass(frozen=True)
+class Figure1Series:
+    """One model's memory-vs-ρ curve in one panel."""
+
+    depth: int
+    batch_size: int
+    image_size: int
+    source: str
+    points: tuple[tuple[float, float], ...]  # (rho, bytes)
+
+    @property
+    def name(self) -> str:
+        return f"LinearResNet{self.depth}"
+
+    def memory_at(self, rho: float) -> float:
+        """Bytes at the grid point closest to ``rho``."""
+        return min(self.points, key=lambda p: abs(p[0] - rho))[1]
+
+    def min_rho_under(self, budget_bytes: float) -> float | None:
+        """Smallest swept ρ whose footprint fits ``budget_bytes``."""
+        fitting = [r for r, b in self.points if b <= budget_bytes]
+        return min(fitting) if fitting else None
+
+
+def _coefficients(depth: int, image: int, source: str) -> tuple[float, float]:
+    """(fixed_bytes, per-sample activation bytes at ``image``)."""
+    if source == "paper":
+        cal = calibrated_models()[depth]
+        return cal.fixed_bytes, cal.act_bytes(image)
+    model = memory_models()[depth]
+    return float(model.fixed_bytes), float(model.act_bytes(image))
+
+
+def figure1_panel(
+    panel: str,
+    source: str = "paper",
+    rhos: tuple[float, ...] | None = None,
+    depths: tuple[int, ...] = RESNET_DEPTHS,
+) -> list[Figure1Series]:
+    """All model curves for one panel ('a'..'d')."""
+    if panel not in PANELS:
+        raise KeyError(f"panel must be one of {sorted(PANELS)}, got {panel!r}")
+    batch, image = PANELS[panel]
+    rhos = rhos or default_rhos()
+    out = []
+    for depth in depths:
+        fixed, act = _coefficients(depth, image, source)
+        l = depth  # LinearResNet_x depth == nominal layer count
+        slot_bytes = batch * act / l
+        pts = memory_curve(l, fixed, slot_bytes, list(rhos))
+        out.append(
+            Figure1Series(
+                depth=depth,
+                batch_size=batch,
+                image_size=image,
+                source=source,
+                points=tuple((p.rho, p.memory_bytes) for p in pts),
+            )
+        )
+    return out
+
+
+def figure1_ascii(panel: str, source: str = "paper", log_mb: bool = False) -> str:
+    """Render one panel as an ASCII plot with the 2 GB budget line."""
+    series = figure1_panel(panel, source)
+    batch, image = PANELS[panel]
+    data = {
+        s.name: [(r, b / MB) for r, b in s.points]
+        for s in series
+    }
+    return ascii_plot(
+        data,
+        title=(
+            f"Figure 1{panel}: peak memory vs recompute factor "
+            f"(batch {batch}, image {image}, {source} coefficients)"
+        ),
+        x_label="recompute factor rho",
+        y_label="peak memory (MB)",
+        hline=2 * GB / MB,
+        hline_label="2GB budget",
+    )

@@ -1,0 +1,102 @@
+"""Sensitivity of the Figure 1 reproduction to modelling conventions.
+
+The paper's Figure 1 leaves two conventions unstated: the
+backward/forward cost ratio inside the ρ budget, and how checkpoint
+slots map to bytes (whether the in-flight activation is charged).  The
+reproduction uses bwd_ratio = 1 and ``(c + 1)`` slots; this module sweeps
+both and reports how the headline quantity — the smallest ρ at which a
+model fits 2 GB — moves.  This is how EXPERIMENTS.md bounds the Figure 1d
+delta (our 2.0 vs the paper's stated 1.6 for ResNet-152).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..checkpointing import min_slots_for_extra
+from ..memory import calibrated_models
+from ..units import GB
+from .report import Table
+
+__all__ = ["SensitivityPoint", "fit_rho", "sensitivity_sweep", "sensitivity_table"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Fitting ρ for one (model, convention) combination."""
+
+    depth: int
+    bwd_ratio: float
+    inflight_slots: int  # 0 or 1 extra slot charged beyond the snapshots
+    fit_rho: float | None
+
+
+def fit_rho(
+    depth: int,
+    batch: int,
+    image: int,
+    budget_bytes: float,
+    bwd_ratio: float = 1.0,
+    inflight_slots: int = 1,
+    rho_grid: tuple[float, ...] | None = None,
+) -> float | None:
+    """Smallest grid ρ at which the model fits, under given conventions."""
+    cal = calibrated_models()[depth]
+    l = depth
+    slot_bytes = batch * cal.act_bytes(image) / l
+    grid = rho_grid or tuple(1.0 + 0.05 * i for i in range(41))
+    for rho in grid:
+        budget_extra = (rho - 1.0) * l * (1.0 + bwd_ratio)
+        c = min_slots_for_extra(l, budget_extra)
+        mem = cal.fixed_bytes + (c + inflight_slots) * slot_bytes
+        if mem <= budget_bytes:
+            return rho
+    return None
+
+
+def sensitivity_sweep(
+    batch: int = 8,
+    image: int = 500,
+    budget_bytes: float = 2 * GB,
+    depths: tuple[int, ...] = (18, 34, 50, 101, 152),
+    bwd_ratios: tuple[float, ...] = (0.5, 1.0, 2.0),
+    inflight: tuple[int, ...] = (0, 1),
+) -> list[SensitivityPoint]:
+    """Fitting ρ across all convention combinations (default: panel d)."""
+    out = []
+    for depth in depths:
+        for r in bwd_ratios:
+            for w in inflight:
+                out.append(
+                    SensitivityPoint(
+                        depth=depth,
+                        bwd_ratio=r,
+                        inflight_slots=w,
+                        fit_rho=fit_rho(
+                            depth, batch, image, budget_bytes, bwd_ratio=r, inflight_slots=w
+                        ),
+                    )
+                )
+    return out
+
+
+def sensitivity_table(batch: int = 8, image: int = 500) -> Table:
+    """Render the sweep as rows = model, cols = convention."""
+    points = sensitivity_sweep(batch=batch, image=image)
+    combos = sorted({(p.bwd_ratio, p.inflight_slots) for p in points})
+    depths = sorted({p.depth for p in points})
+    lookup = {(p.depth, p.bwd_ratio, p.inflight_slots): p.fit_rho for p in points}
+    cells = []
+    for d in depths:
+        row = []
+        for r, w in combos:
+            v = lookup[(d, r, w)]
+            row.append(f"{v:.2f}" if v is not None else ">3")
+        cells.append(row)
+    return Table(
+        title=f"Fitting rho sensitivity (batch {batch}, image {image}, 2 GB)",
+        col_labels=[f"r={r},w={w}" for r, w in combos],
+        row_labels=[f"ResNet{d}" for d in depths],
+        cells=cells,
+        row_header="model",
+    )

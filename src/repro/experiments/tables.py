@@ -1,0 +1,188 @@
+"""Generators for the paper's Tables I, II and III.
+
+Each generator produces the grid from two sources:
+
+* ``"ours"`` — first-principles accounting on our from-scratch ResNet
+  graphs (exact conv arithmetic per image size, 4-copy weight fixed cost);
+* ``"paper"`` — the coefficients fitted from the paper's own Table I
+  (see :mod:`repro.memory.calibration`), which regenerate the published
+  numbers to within rounding.
+
+Cells that exceed the 2 GB device budget — the paper's shaded cells — are
+marked with ``*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory import (
+    PAPER_BATCH_SIZES,
+    PAPER_IMAGE_SIZES_T2,
+    PAPER_IMAGE_SIZES_T3,
+    PAPER_TABLE1_MB,
+    PAPER_TABLE2_MB,
+    PAPER_TABLE3_GB,
+    CalibratedModel,
+    MemoryModel,
+    calibrated_models,
+    memory_model_for,
+)
+from ..units import GB, MB
+from ..zoo import RESNET_DEPTHS, build_resnet
+from .report import Table
+
+__all__ = [
+    "TableResult",
+    "memory_models",
+    "table1",
+    "table2",
+    "table3",
+    "compare_to_paper",
+]
+
+_BUDGET_BYTES = 2 * GB
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A computed table: values in bytes keyed by (row_key, depth)."""
+
+    name: str
+    source: str
+    row_name: str
+    rows: tuple[int, ...]
+    depths: tuple[int, ...]
+    values_bytes: dict[tuple[int, int], float]
+    unit: str  # "MB" | "GB"
+
+    def value(self, row: int, depth: int) -> float:
+        """Cell value in the table's unit."""
+        b = self.values_bytes[(row, depth)]
+        return b / (GB if self.unit == "GB" else MB)
+
+    def exceeds_budget(self, row: int, depth: int) -> bool:
+        """True for the paper's shaded cells (over 2 GB)."""
+        return self.values_bytes[(row, depth)] > _BUDGET_BYTES
+
+    def as_table(self) -> Table:
+        cells = []
+        for r in self.rows:
+            row_cells = []
+            for d in self.depths:
+                mark = "*" if self.exceeds_budget(r, d) else " "
+                row_cells.append(f"{self.value(r, d):.2f}{mark}")
+            cells.append(row_cells)
+        return Table(
+            title=f"{self.name} [{self.source}] ({self.unit}; * = exceeds 2 GB)",
+            col_labels=[f"ResNet{d}" for d in self.depths],
+            row_labels=[str(r) for r in self.rows],
+            cells=cells,
+            row_header=self.row_name,
+        )
+
+
+_MODEL_CACHE: dict[int, MemoryModel] = {}
+
+
+def memory_models() -> dict[int, MemoryModel]:
+    """First-principles memory models for the five paper ResNets."""
+    if not _MODEL_CACHE:
+        for depth in RESNET_DEPTHS:
+            _MODEL_CACHE[depth] = memory_model_for(
+                lambda s, d=depth: build_resnet(d, image_size=s), ref_image=224
+            )
+    return _MODEL_CACHE
+
+
+def _grid(
+    source: str,
+    rows: tuple[int, ...],
+    row_kind: str,  # "batch" | "image"
+    fixed_batch: int,
+) -> dict[tuple[int, int], float]:
+    values: dict[tuple[int, int], float] = {}
+    ours = memory_models() if source == "ours" else None
+    paper: dict[int, CalibratedModel] | None = calibrated_models() if source == "paper" else None
+    for depth in RESNET_DEPTHS:
+        for r in rows:
+            batch = r if row_kind == "batch" else fixed_batch
+            image = 224 if row_kind == "batch" else r
+            if ours is not None:
+                values[(r, depth)] = float(ours[depth].total_bytes(batch, image))
+            else:
+                assert paper is not None
+                values[(r, depth)] = paper[depth].total_bytes(batch, image)
+    return values
+
+
+def table1(source: str = "ours") -> TableResult:
+    """Table I: MB vs batch size at image 224."""
+    rows = PAPER_BATCH_SIZES
+    return TableResult(
+        name="Table I: weights+activations memory, image 224",
+        source=source,
+        row_name="batch",
+        rows=rows,
+        depths=RESNET_DEPTHS,
+        values_bytes=_grid(source, rows, "batch", fixed_batch=1),
+        unit="MB",
+    )
+
+
+def table2(source: str = "ours") -> TableResult:
+    """Table II: MB vs image size at batch 1."""
+    rows = PAPER_IMAGE_SIZES_T2
+    return TableResult(
+        name="Table II: weights+activations memory, batch 1",
+        source=source,
+        row_name="image",
+        rows=rows,
+        depths=RESNET_DEPTHS,
+        values_bytes=_grid(source, rows, "image", fixed_batch=1),
+        unit="MB",
+    )
+
+
+def table3(source: str = "ours") -> TableResult:
+    """Table III: GB vs image size at batch 8."""
+    rows = PAPER_IMAGE_SIZES_T3
+    return TableResult(
+        name="Table III: weights+activations memory, batch 8",
+        source=source,
+        row_name="image",
+        rows=rows,
+        depths=RESNET_DEPTHS,
+        values_bytes=_grid(source, rows, "image", fixed_batch=8),
+        unit="GB",
+    )
+
+
+_PAPER_LOOKUP = {
+    "table1": (PAPER_TABLE1_MB, MB),
+    "table2": (PAPER_TABLE2_MB, MB),
+    "table3": (PAPER_TABLE3_GB, GB),
+}
+
+
+def compare_to_paper(which: str, source: str = "ours") -> Table:
+    """Side-by-side grid: published value / our value / ratio per cell."""
+    gen = {"table1": table1, "table2": table2, "table3": table3}[which]
+    result = gen(source)
+    published, _ = _PAPER_LOOKUP[which]
+    cells = []
+    for r in result.rows:
+        row_cells = []
+        for d in result.depths:
+            pub = published[r][d]
+            ours_val = result.value(r, d)
+            ratio = ours_val / pub if pub else float("nan")
+            row_cells.append(f"{pub:.2f}/{ours_val:.2f}({ratio:.2f}x)")
+        cells.append(row_cells)
+    return Table(
+        title=f"{result.name}: paper/{source} (ratio)",
+        col_labels=[f"ResNet{d}" for d in result.depths],
+        row_labels=[str(r) for r in result.rows],
+        cells=cells,
+        row_header=result.row_name,
+    )

@@ -1,0 +1,111 @@
+"""Layer base classes for the symbolic graph IR.
+
+A :class:`Layer` is a shape-transforming node with declared parameters and
+buffers.  Layers do not hold data; they infer output :class:`TensorSpec`
+from input specs and report parameter/buffer element counts.  Concrete
+layers live in :mod:`repro.graph.layers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ShapeError
+from ..units import DTYPE_BYTES
+from .tensor import TensorSpec
+
+__all__ = ["ParamSpec", "Layer"]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """A named parameter (or buffer) tensor owned by a layer.
+
+    ``trainable`` distinguishes learned weights (which carry gradient /
+    optimizer-state copies in the memory model) from buffers such as
+    BatchNorm running statistics (stored once).
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    trainable: bool = True
+    dtype: str = "float32"
+
+    @property
+    def numel(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.numel * DTYPE_BYTES[self.dtype]
+
+
+@dataclass
+class Layer:
+    """Base class for all symbolic layers.
+
+    Subclasses implement :meth:`infer` (shape inference from input specs)
+    and :meth:`params` (parameter declaration).  ``arity`` is the number of
+    input tensors the layer consumes (2 for residual :class:`Add`).
+    ``inplace_capable`` marks activations that deep-learning frameworks can
+    compute in place (e.g. ReLU); accounting policies may elect not to
+    count their outputs as stored activations.
+    """
+
+    name: str = field(default="", kw_only=False)
+    arity: int = field(default=1, kw_only=True)
+    inplace_capable: bool = field(default=False, kw_only=True)
+
+    # -- protocol -----------------------------------------------------
+    def infer(self, inputs: list[TensorSpec]) -> TensorSpec:
+        """Infer the output spec from input specs."""
+        raise NotImplementedError
+
+    def params(self) -> list[ParamSpec]:
+        """Declare parameter and buffer tensors (default: none)."""
+        return []
+
+    def flops(self, inputs: list[TensorSpec], output: TensorSpec) -> int:
+        """Per-sample multiply-accumulate-style FLOP estimate (default 0)."""
+        return 0
+
+    # -- helpers ------------------------------------------------------
+    def _expect_arity(self, inputs: list[TensorSpec]) -> None:
+        if len(inputs) != self.arity:
+            raise ShapeError(
+                f"{type(self).__name__} {self.name!r} expects {self.arity} "
+                f"input(s), got {len(inputs)}"
+            )
+
+    def _expect_chw(self, spec: TensorSpec) -> tuple[int, int, int]:
+        if spec.rank != 3:
+            raise ShapeError(
+                f"{type(self).__name__} {self.name!r} expects CHW input, got {spec.shape}"
+            )
+        c, h, w = spec.shape
+        return c, h, w
+
+    # -- derived quantities --------------------------------------------
+    @property
+    def trainable_numel(self) -> int:
+        """Total trainable parameter elements."""
+        return sum(p.numel for p in self.params() if p.trainable)
+
+    @property
+    def buffer_numel(self) -> int:
+        """Total non-trainable buffer elements."""
+        return sum(p.numel for p in self.params() if not p.trainable)
+
+    @property
+    def trainable_bytes(self) -> int:
+        return sum(p.nbytes for p in self.params() if p.trainable)
+
+    @property
+    def buffer_bytes(self) -> int:
+        return sum(p.nbytes for p in self.params() if not p.trainable)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"

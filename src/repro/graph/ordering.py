@@ -1,0 +1,164 @@
+"""Memory-aware execution ordering for DAG inference.
+
+Edge nodes spend most of their time on *inference*, where the knob is
+not checkpointing but the topological order: on a DAG with branches, the
+order in which ready nodes execute changes how long intermediate tensors
+stay live, and therefore the peak.  This module provides:
+
+* :func:`peak_memory_of_order` — exact peak live bytes of a given order
+  (a tensor is live from its producer until its last consumer has run);
+* :func:`greedy_min_peak_order` — a best-next-step heuristic (choose the
+  ready node minimizing the post-execution live set, breaking ties
+  toward freeing the most bytes);
+* :func:`optimal_order` — exhaustive branch-and-bound, exact for small
+  graphs (≤ ``max_nodes``), used to validate the heuristic in tests.
+
+Wide inputs (multi-branch blocks) are where the orders differ; for pure
+chains every topological order is equivalent.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from ..errors import GraphError
+from .network import Graph
+
+__all__ = ["peak_memory_of_order", "greedy_min_peak_order", "optimal_order"]
+
+
+def _consumer_counts(graph: Graph) -> dict[str, int]:
+    counts = {n.name: 0 for n in graph.nodes}
+    for node in graph.nodes:
+        for src in node.inputs:
+            counts[src] += 1
+    return counts
+
+
+def peak_memory_of_order(graph: Graph, order: list[str]) -> int:
+    """Peak live bytes when executing ``order`` (must be topological).
+
+    Outputs of the graph stay live to the end (they are the result).
+    Raises :class:`~repro.errors.GraphError` if the order is not a valid
+    topological order of exactly the graph's nodes.
+    """
+    graph.infer()
+    names = {n.name for n in graph.nodes}
+    if set(order) != names or len(order) != len(names):
+        raise GraphError("order must be a permutation of the graph's nodes")
+    remaining = _consumer_counts(graph)
+    outputs = set(graph.outputs)
+    produced: set[str] = set()
+    live: dict[str, int] = {}
+    peak = 0
+    for name in order:
+        node = graph.node(name)
+        if any(src not in produced for src in node.inputs):
+            raise GraphError(f"order is not topological at {name!r}")
+        assert node.output is not None
+        live[name] = node.output.nbytes
+        produced.add(name)
+        peak = max(peak, sum(live.values()))
+        for src in node.inputs:
+            remaining[src] -= 1
+            if remaining[src] == 0 and src not in outputs:
+                del live[src]
+    return peak
+
+
+def greedy_min_peak_order(graph: Graph) -> list[str]:
+    """Heuristic order: always run the ready node that minimizes the live
+    set after it executes (ties: free the most bytes, then FIFO)."""
+    graph.infer()
+    remaining = _consumer_counts(graph)
+    outputs = set(graph.outputs)
+    sizes = {n.name: n.output.nbytes for n in graph.nodes}  # type: ignore[union-attr]
+    deps = {n.name: set(n.inputs) for n in graph.nodes}
+    inputs = {n.name: list(n.inputs) for n in graph.nodes}
+    ready = [n.name for n in graph.nodes if not deps[n.name]]
+    produced: set[str] = set()
+    live: dict[str, int] = {}
+    order: list[str] = []
+    tiebreak = count()
+    rem = dict(remaining)
+
+    def score(name: str) -> tuple[int, int]:
+        added = sizes[name]
+        freed = 0
+        for src in inputs[name]:
+            if rem[src] == 1 and src not in outputs:
+                freed += live.get(src, 0)
+        # resulting live total, then prefer bigger immediate frees
+        return (sum(live.values()) + added - freed, -freed)
+
+    while ready:
+        ready.sort(key=lambda n: (*score(n), n))
+        cur = ready.pop(0)
+        order.append(cur)
+        produced.add(cur)
+        live[cur] = sizes[cur]
+        for src in inputs[cur]:
+            rem[src] -= 1
+            if rem[src] == 0 and src not in outputs:
+                live.pop(src, None)
+        for other in graph.nodes:
+            if other.name in produced or other.name in ready:
+                continue
+            if all(s in produced for s in deps[other.name]):
+                ready.append(other.name)
+    if len(order) != len(graph):
+        raise GraphError("graph has a cycle")
+    return order
+
+
+def optimal_order(graph: Graph, max_nodes: int = 14) -> tuple[list[str], int]:
+    """Exhaustive branch-and-bound minimal-peak order (small graphs only).
+
+    Returns (order, peak bytes).  Raises
+    :class:`~repro.errors.GraphError` when the graph exceeds
+    ``max_nodes`` (the search is exponential).
+    """
+    graph.infer()
+    if len(graph) > max_nodes:
+        raise GraphError(
+            f"optimal_order is exponential; graph has {len(graph)} > {max_nodes} nodes"
+        )
+    sizes = {n.name: n.output.nbytes for n in graph.nodes}  # type: ignore[union-attr]
+    deps = {n.name: set(n.inputs) for n in graph.nodes}
+    consumers = _consumer_counts(graph)
+    outputs = set(graph.outputs)
+
+    # Seed the bound with the greedy solution.
+    greedy = greedy_min_peak_order(graph)
+    best_peak = peak_memory_of_order(graph, greedy)
+    best_order = list(greedy)
+
+    n_total = len(graph)
+    state_order: list[str] = []
+
+    def rec(produced: frozenset, live: dict[str, int], rem: dict[str, int], peak: int) -> None:
+        nonlocal best_peak, best_order
+        if peak >= best_peak:
+            return
+        if len(produced) == n_total:
+            best_peak = peak
+            best_order = list(state_order)
+            return
+        for node in graph.nodes:
+            name = node.name
+            if name in produced or not deps[name] <= produced:
+                continue
+            new_live = dict(live)
+            new_live[name] = sizes[name]
+            new_peak = max(peak, sum(new_live.values()))
+            new_rem = dict(rem)
+            for src in node.inputs:
+                new_rem[src] -= 1
+                if new_rem[src] == 0 and src not in outputs:
+                    new_live.pop(src, None)
+            state_order.append(name)
+            rec(produced | {name}, new_live, new_rem, new_peak)
+            state_order.pop()
+
+    rec(frozenset(), {}, dict(consumers), 0)
+    return best_order, best_peak

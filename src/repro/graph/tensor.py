@@ -1,0 +1,117 @@
+"""Symbolic tensor specifications.
+
+The graph IR never holds real data — it propagates :class:`TensorSpec`
+objects (shape + dtype) through layers so that activation sizes, parameter
+counts and FLOPs can be computed analytically, exactly as needed for the
+paper's Tables I–III.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+from ..units import DTYPE_BYTES
+
+__all__ = ["TensorSpec", "conv2d_output_hw", "pool2d_output_hw"]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape and dtype of a (batched) tensor, excluding the batch axis.
+
+    The batch dimension is kept symbolic: all sizes reported by the graph
+    IR are *per sample*, and batch scaling is applied by the memory model.
+    ``shape`` is the per-sample shape, e.g. ``(3, 224, 224)`` for an RGB
+    image or ``(1000,)`` for logits.
+    """
+
+    shape: tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ShapeError("TensorSpec shape must be non-empty")
+        if any((not isinstance(d, int)) or d <= 0 for d in self.shape):
+            raise ShapeError(f"TensorSpec dims must be positive ints, got {self.shape}")
+        if self.dtype not in DTYPE_BYTES:
+            raise ShapeError(f"unsupported dtype {self.dtype!r}")
+
+    @property
+    def rank(self) -> int:
+        """Number of per-sample dimensions."""
+        return len(self.shape)
+
+    @property
+    def numel(self) -> int:
+        """Number of elements per sample."""
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes per sample."""
+        return self.numel * DTYPE_BYTES[self.dtype]
+
+    def with_shape(self, shape: tuple[int, ...]) -> "TensorSpec":
+        """Return a spec with the same dtype but a new shape."""
+        return TensorSpec(shape=shape, dtype=self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{dims}:{self.dtype}"
+
+
+def conv2d_output_hw(
+    h: int,
+    w: int,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    dilation: tuple[int, int] = (1, 1),
+) -> tuple[int, int]:
+    """Standard convolution output-size arithmetic (floor convention).
+
+    Matches the PyTorch formula
+    ``out = floor((in + 2p - d*(k-1) - 1)/s + 1)``.
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    dh, dw = dilation
+    oh = (h + 2 * ph - dh * (kh - 1) - 1) // sh + 1
+    ow = (w + 2 * pw - dw * (kw - 1) - 1) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(
+            f"conv arithmetic produced non-positive output {oh}x{ow} "
+            f"for input {h}x{w}, kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return oh, ow
+
+
+def pool2d_output_hw(
+    h: int,
+    w: int,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    ceil_mode: bool = False,
+) -> tuple[int, int]:
+    """Pooling output-size arithmetic, with optional ceil mode."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+
+    def _size(dim: int, k: int, s: int, p: int) -> int:
+        num = dim + 2 * p - k
+        out = (num + s - 1) // s + 1 if ceil_mode else num // s + 1
+        if ceil_mode and (out - 1) * s >= dim + p:
+            # PyTorch clamps: last window must start inside the input.
+            out -= 1
+        return out
+
+    oh = _size(h, kh, sh, ph)
+    ow = _size(w, kw, sw, pw)
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(f"pool arithmetic produced non-positive output {oh}x{ow}")
+    return oh, ow

@@ -1,0 +1,106 @@
+"""Device-fit reports: which (model, batch, image) cells fit a budget.
+
+Reproduces the *shaded cells* of the paper's Tables I–III — the
+configurations that cannot be trained store-all within the edge device's
+memory — for both our first-principles model and the paper-calibrated one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..units import MB
+from .calibration import CalibratedModel
+from .model import MemoryModel
+
+__all__ = ["FitCell", "FitGrid", "fit_grid", "fit_grid_calibrated"]
+
+
+@dataclass(frozen=True)
+class FitCell:
+    """One table cell: a (model, batch, image) footprint vs a budget."""
+
+    model: str
+    batch_size: int
+    image_size: int
+    total_bytes: float
+    budget_bytes: int
+
+    @property
+    def fits(self) -> bool:
+        return self.total_bytes <= self.budget_bytes
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / MB
+
+
+@dataclass(frozen=True)
+class FitGrid:
+    """A grid of fit cells plus helpers mirroring the paper's shading."""
+
+    cells: tuple[FitCell, ...]
+
+    def cell(self, model: str, batch_size: int, image_size: int) -> FitCell:
+        for c in self.cells:
+            if (c.model, c.batch_size, c.image_size) == (model, batch_size, image_size):
+                return c
+        raise KeyError((model, batch_size, image_size))
+
+    @property
+    def shaded(self) -> tuple[FitCell, ...]:
+        """Cells that do NOT fit (the paper's shaded values)."""
+        return tuple(c for c in self.cells if not c.fits)
+
+    def fitting_fraction(self) -> float:
+        if not self.cells:
+            return 1.0
+        return sum(c.fits for c in self.cells) / len(self.cells)
+
+
+def fit_grid(
+    models: Iterable[MemoryModel],
+    batch_sizes: Iterable[int],
+    image_sizes: Iterable[int],
+    budget_bytes: int,
+    exact: bool = True,
+) -> FitGrid:
+    """Evaluate every (model, batch, image) cell with first-principles sizes."""
+    cells = []
+    for m in models:
+        for s in image_sizes:
+            for k in batch_sizes:
+                cells.append(
+                    FitCell(
+                        model=m.name,
+                        batch_size=k,
+                        image_size=s,
+                        total_bytes=m.total_bytes(k, s, exact=exact),
+                        budget_bytes=budget_bytes,
+                    )
+                )
+    return FitGrid(cells=tuple(cells))
+
+
+def fit_grid_calibrated(
+    models: Iterable[CalibratedModel],
+    batch_sizes: Iterable[int],
+    image_sizes: Iterable[int],
+    budget_bytes: int,
+) -> FitGrid:
+    """Same grid using the paper-fitted coefficients."""
+    cells = []
+    for m in models:
+        for s in image_sizes:
+            for k in batch_sizes:
+                cells.append(
+                    FitCell(
+                        model=f"ResNet{m.depth}",
+                        batch_size=k,
+                        image_size=s,
+                        total_bytes=m.total_bytes(k, s),
+                        budget_bytes=budget_bytes,
+                    )
+                )
+    return FitGrid(cells=tuple(cells))

@@ -1,0 +1,98 @@
+"""Per-layer memory profiling: where do the 2 GB actually go?
+
+:func:`memory_profile` ranks a graph's nodes by activation bytes and its
+layers by parameter bytes, answering the deployment question the
+aggregate tables hide — on ResNets the early high-resolution stages own
+the activations while the late stages own the weights, which is exactly
+why homogenized chains (and heterogeneous byte-budget DPs) matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import Graph
+from ..units import humanize_bytes
+
+__all__ = ["LayerProfile", "MemoryProfile", "memory_profile"]
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """One node's contribution."""
+
+    name: str
+    kind: str
+    act_bytes: int  # per sample
+    param_bytes: int  # one fp32 copy, trainable
+    flops: int
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Full per-layer breakdown plus ranking helpers."""
+
+    model: str
+    layers: tuple[LayerProfile, ...]
+
+    @property
+    def total_act_bytes(self) -> int:
+        return sum(p.act_bytes for p in self.layers)
+
+    @property
+    def total_param_bytes(self) -> int:
+        return sum(p.param_bytes for p in self.layers)
+
+    def top_activations(self, k: int = 10) -> list[LayerProfile]:
+        """The k nodes holding the most activation bytes."""
+        return sorted(self.layers, key=lambda p: p.act_bytes, reverse=True)[:k]
+
+    def top_parameters(self, k: int = 10) -> list[LayerProfile]:
+        return sorted(self.layers, key=lambda p: p.param_bytes, reverse=True)[:k]
+
+    def activation_share(self, prefix: str) -> float:
+        """Fraction of activation bytes in nodes whose name starts with
+        ``prefix`` (e.g. ``"layer1"`` for a ResNet stage)."""
+        total = self.total_act_bytes
+        if total == 0:
+            return 0.0
+        part = sum(p.act_bytes for p in self.layers if p.name.startswith(prefix))
+        return part / total
+
+    def render(self, k: int = 10) -> str:
+        lines = [
+            f"Memory profile: {self.model} "
+            f"(activations {humanize_bytes(self.total_act_bytes)}/sample, "
+            f"params {humanize_bytes(self.total_param_bytes)})",
+            f"top {k} activation holders:",
+        ]
+        for p in self.top_activations(k):
+            lines.append(
+                f"  {p.name:<28}{p.kind:<18}{humanize_bytes(p.act_bytes):>12}"
+            )
+        lines.append(f"top {k} parameter holders:")
+        for p in self.top_parameters(k):
+            lines.append(
+                f"  {p.name:<28}{p.kind:<18}{humanize_bytes(p.param_bytes):>12}"
+            )
+        return "\n".join(lines)
+
+
+def memory_profile(graph: Graph) -> MemoryProfile:
+    """Profile every node of ``graph`` (inference is run if needed)."""
+    graph.infer()
+    specs = {n.name: n.output for n in graph.nodes}
+    layers = []
+    for node in graph.nodes:
+        assert node.output is not None
+        in_specs = [specs[s] for s in node.inputs]
+        layers.append(
+            LayerProfile(
+                name=node.name,
+                kind=type(node.layer).__name__,
+                act_bytes=node.output.nbytes,
+                param_bytes=node.layer.trainable_bytes,
+                flops=node.layer.flops([s for s in in_specs if s is not None], node.output),
+            )
+        )
+    return MemoryProfile(model=graph.name, layers=tuple(layers))

@@ -1,0 +1,38 @@
+"""Model zoo: the ResNets the paper tabulates, plus validation models."""
+
+from .resnet import (
+    RESNET_CONFIGS,
+    RESNET_DEPTHS,
+    ResNetConfig,
+    build_resnet,
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet101,
+    resnet152,
+)
+from .mobilenet import MOBILENET_V2_CONFIG, mobilenet_v2
+from .vgg import VGG_CONFIGS, build_vgg, vgg11, vgg16
+from .simple import plain_chain, simple_cnn, simple_mlp, tiny_residual
+
+__all__ = [
+    "ResNetConfig",
+    "RESNET_CONFIGS",
+    "RESNET_DEPTHS",
+    "build_resnet",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "VGG_CONFIGS",
+    "build_vgg",
+    "vgg11",
+    "vgg16",
+    "MOBILENET_V2_CONFIG",
+    "mobilenet_v2",
+    "simple_cnn",
+    "simple_mlp",
+    "tiny_residual",
+    "plain_chain",
+]

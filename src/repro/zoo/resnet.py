@@ -1,0 +1,184 @@
+"""ResNet builders (He et al.) on the symbolic graph IR.
+
+Architectures follow torchvision's ``resnet{18,34,50,101,152}`` exactly —
+same layer layout, kernel/stride/padding, and bias conventions — so that
+trainable-parameter counts match the published models (e.g. 11,689,512 for
+ResNet-18 and 25,557,032 for ResNet-50 at 1000 classes).  These are the
+networks whose memory footprints the paper tabulates in Tables I–III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ShapeError
+from ..graph import (
+    AdaptiveAvgPool2d,
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Graph,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    TensorSpec,
+)
+
+__all__ = [
+    "ResNetConfig",
+    "RESNET_CONFIGS",
+    "RESNET_DEPTHS",
+    "build_resnet",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+]
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """Depth-specific ResNet configuration."""
+
+    depth: int
+    block: str  # "basic" | "bottleneck"
+    layers: tuple[int, int, int, int]
+
+    @property
+    def expansion(self) -> int:
+        return 1 if self.block == "basic" else 4
+
+
+#: The five variants evaluated in the paper.
+RESNET_CONFIGS: dict[int, ResNetConfig] = {
+    18: ResNetConfig(18, "basic", (2, 2, 2, 2)),
+    34: ResNetConfig(34, "basic", (3, 4, 6, 3)),
+    50: ResNetConfig(50, "bottleneck", (3, 4, 6, 3)),
+    101: ResNetConfig(101, "bottleneck", (3, 4, 23, 3)),
+    152: ResNetConfig(152, "bottleneck", (3, 8, 36, 3)),
+}
+
+#: Nominal depths, used as the homogenized chain length ``l`` in Figure 1.
+RESNET_DEPTHS: tuple[int, ...] = tuple(sorted(RESNET_CONFIGS))
+
+
+def _conv_bn(
+    g: Graph,
+    prefix: str,
+    src: str,
+    in_ch: int,
+    out_ch: int,
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> str:
+    """conv -> bn; returns the bn node name."""
+    conv = g.add(
+        f"{prefix}.conv",
+        Conv2d(
+            in_channels=in_ch,
+            out_channels=out_ch,
+            kernel_size=kernel,
+            stride=stride,
+            padding=padding,
+            bias=False,
+        ),
+        [src],
+    )
+    return g.add(f"{prefix}.bn", BatchNorm2d(num_features=out_ch), [conv])
+
+
+def _basic_block(g: Graph, prefix: str, src: str, in_ch: int, planes: int, stride: int) -> tuple[str, int]:
+    out_ch = planes
+    y = _conv_bn(g, f"{prefix}.1", src, in_ch, planes, 3, stride, 1)
+    y = g.add(f"{prefix}.relu1", ReLU(), [y])
+    y = _conv_bn(g, f"{prefix}.2", y, planes, planes, 3, 1, 1)
+    shortcut = src
+    if stride != 1 or in_ch != out_ch:
+        shortcut = _conv_bn(g, f"{prefix}.down", src, in_ch, out_ch, 1, stride, 0)
+    y = g.add(f"{prefix}.add", Add(), [y, shortcut])
+    y = g.add(f"{prefix}.relu2", ReLU(), [y])
+    return y, out_ch
+
+
+def _bottleneck_block(g: Graph, prefix: str, src: str, in_ch: int, planes: int, stride: int) -> tuple[str, int]:
+    out_ch = planes * 4
+    y = _conv_bn(g, f"{prefix}.1", src, in_ch, planes, 1, 1, 0)
+    y = g.add(f"{prefix}.relu1", ReLU(), [y])
+    y = _conv_bn(g, f"{prefix}.2", y, planes, planes, 3, stride, 1)
+    y = g.add(f"{prefix}.relu2", ReLU(), [y])
+    y = _conv_bn(g, f"{prefix}.3", y, planes, out_ch, 1, 1, 0)
+    shortcut = src
+    if stride != 1 or in_ch != out_ch:
+        shortcut = _conv_bn(g, f"{prefix}.down", src, in_ch, out_ch, 1, stride, 0)
+    y = g.add(f"{prefix}.add", Add(), [y, shortcut])
+    y = g.add(f"{prefix}.relu3", ReLU(), [y])
+    return y, out_ch
+
+
+def build_resnet(
+    depth: int,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    in_channels: int = 3,
+) -> Graph:
+    """Build ``ResNet_depth`` for square images of side ``image_size``.
+
+    Raises :class:`~repro.errors.ShapeError` for unknown depths or images
+    too small for the stem (minimum ~33 px).
+    """
+    if depth not in RESNET_CONFIGS:
+        raise ShapeError(f"unsupported ResNet depth {depth}; choose from {RESNET_DEPTHS}")
+    cfg = RESNET_CONFIGS[depth]
+    g = Graph(name=f"ResNet{depth}")
+    src = g.add_input("input", TensorSpec((in_channels, image_size, image_size)))
+
+    # Stem: 7x7/2 conv, bn, relu, 3x3/2 maxpool.
+    src = _conv_bn(g, "stem", src, in_channels, 64, 7, 2, 3)
+    src = g.add("stem.relu", ReLU(), [src])
+    src = g.add("stem.pool", MaxPool2d(kernel_size=3, stride=2, padding=1), [src])
+
+    block_fn = _basic_block if cfg.block == "basic" else _bottleneck_block
+    ch = 64
+    for stage_idx, (planes, blocks) in enumerate(zip((64, 128, 256, 512), cfg.layers), start=1):
+        for block_idx in range(blocks):
+            stride = 2 if (stage_idx > 1 and block_idx == 0) else 1
+            src, ch = block_fn(g, f"layer{stage_idx}.{block_idx}", src, ch, planes, stride)
+
+    src = g.add("head.pool", AdaptiveAvgPool2d(output_size=1), [src])
+    src = g.add("head.flatten", Flatten(), [src])
+    src = g.add(
+        "head.fc",
+        Linear(in_features=512 * cfg.expansion, out_features=num_classes, bias=True),
+        [src],
+    )
+    g.mark_output(src)
+    g.infer()
+    return g
+
+
+def resnet18(image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet-18 (11.69 M parameters at 1000 classes)."""
+    return build_resnet(18, image_size, num_classes)
+
+
+def resnet34(image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet-34 (21.80 M parameters at 1000 classes)."""
+    return build_resnet(34, image_size, num_classes)
+
+
+def resnet50(image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet-50 (25.56 M parameters at 1000 classes)."""
+    return build_resnet(50, image_size, num_classes)
+
+
+def resnet101(image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet-101 (44.55 M parameters at 1000 classes)."""
+    return build_resnet(101, image_size, num_classes)
+
+
+def resnet152(image_size: int = 224, num_classes: int = 1000) -> Graph:
+    """ResNet-152 (60.19 M parameters at 1000 classes)."""
+    return build_resnet(152, image_size, num_classes)

@@ -1,0 +1,82 @@
+"""Small models used by tests, examples and the autodiff substrate.
+
+These are deliberately tiny so property tests and gradient checks run in
+milliseconds, while still exercising every layer kind the big models use.
+"""
+
+from __future__ import annotations
+
+from ..graph import (
+    Add,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Graph,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    TensorSpec,
+)
+
+__all__ = ["simple_cnn", "simple_mlp", "tiny_residual", "plain_chain"]
+
+
+def simple_cnn(image_size: int = 32, num_classes: int = 10, in_channels: int = 3) -> Sequential:
+    """A LeNet-scale CNN: 2 conv/pool stages + 2 dense layers."""
+    net = Sequential(TensorSpec((in_channels, image_size, image_size)), name="SimpleCNN")
+    net.append(Conv2d(in_channels=in_channels, out_channels=16, kernel_size=3, padding=1, bias=True), "conv1")
+    net.append(ReLU(), "relu1")
+    net.append(MaxPool2d(kernel_size=2), "pool1")
+    net.append(Conv2d(in_channels=16, out_channels=32, kernel_size=3, padding=1, bias=True), "conv2")
+    net.append(ReLU(), "relu2")
+    net.append(MaxPool2d(kernel_size=2), "pool2")
+    net.append(Flatten(), "flatten")
+    net.append(Linear(in_features=32 * (image_size // 4) ** 2, out_features=64), "fc1")
+    net.append(ReLU(), "relu3")
+    net.append(Linear(in_features=64, out_features=num_classes), "fc2")
+    net.infer()
+    return net
+
+
+def simple_mlp(in_features: int = 32, hidden: int = 64, depth: int = 3, num_classes: int = 10) -> Sequential:
+    """An MLP with ``depth`` hidden layers."""
+    net = Sequential(TensorSpec((in_features,)), name="SimpleMLP")
+    prev = in_features
+    for i in range(depth):
+        net.append(Linear(in_features=prev, out_features=hidden), f"fc{i}")
+        net.append(ReLU(), f"relu{i}")
+        prev = hidden
+    net.append(Linear(in_features=prev, out_features=num_classes), "head")
+    net.infer()
+    return net
+
+
+def tiny_residual(image_size: int = 16, channels: int = 8, num_classes: int = 4) -> Graph:
+    """A two-block residual net for DAG/cut-point tests."""
+    g = Graph(name="TinyResidual")
+    src = g.add_input("input", TensorSpec((3, image_size, image_size)))
+    src = g.add("stem", Conv2d(in_channels=3, out_channels=channels, kernel_size=3, padding=1), [src])
+    src = g.add("stem_bn", BatchNorm2d(num_features=channels), [src])
+    src = g.add("stem_relu", ReLU(), [src])
+    for b in range(2):
+        y = g.add(f"b{b}_conv1", Conv2d(in_channels=channels, out_channels=channels, kernel_size=3, padding=1), [src])
+        y = g.add(f"b{b}_relu1", ReLU(), [y])
+        y = g.add(f"b{b}_conv2", Conv2d(in_channels=channels, out_channels=channels, kernel_size=3, padding=1), [y])
+        src = g.add(f"b{b}_add", Add(), [y, src])
+        src = g.add(f"b{b}_relu2", ReLU(), [src])
+    src = g.add("gap", GlobalAvgPool(), [src])
+    src = g.add("fc", Linear(in_features=channels, out_features=num_classes), [src])
+    g.mark_output(src)
+    g.infer()
+    return g
+
+
+def plain_chain(depth: int = 8, features: int = 16) -> Sequential:
+    """A homogeneous dense chain — the idealized ``LinearResNet`` shape."""
+    net = Sequential(TensorSpec((features,)), name=f"PlainChain{depth}")
+    for i in range(depth):
+        net.append(Linear(in_features=features, out_features=features), f"step{i}")
+    net.infer()
+    return net

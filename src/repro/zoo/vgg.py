@@ -1,0 +1,83 @@
+"""VGG builders — secondary validation models for the memory substrate.
+
+VGG-11/13/16/19 ("A/B/D/E" configurations, with batch norm optional)
+exercise the plain-sequential path of the graph IR, complementing the
+residual DAGs of :mod:`repro.zoo.resnet`.  Parameter counts match
+torchvision (e.g. VGG-16 without BN: 138,357,544 at 1000 classes).
+"""
+
+from __future__ import annotations
+
+from ..errors import ShapeError
+from ..graph import (
+    AdaptiveAvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    TensorSpec,
+)
+
+__all__ = ["VGG_CONFIGS", "build_vgg", "vgg11", "vgg16"]
+
+#: Channel plans; "M" denotes a 2x2/2 max pool.
+VGG_CONFIGS: dict[int, tuple[int | str, ...]] = {
+    11: (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    13: (64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    16: (64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512, "M", 512, 512, 512, "M"),
+    19: (64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M", 512, 512, 512, 512, "M", 512, 512, 512, 512, "M"),
+}
+
+
+def build_vgg(
+    depth: int,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    batch_norm: bool = False,
+    in_channels: int = 3,
+) -> Sequential:
+    """Build ``VGG-depth``; classifier matches torchvision (4096-4096-N)."""
+    if depth not in VGG_CONFIGS:
+        raise ShapeError(f"unsupported VGG depth {depth}; choose from {sorted(VGG_CONFIGS)}")
+    net = Sequential(TensorSpec((in_channels, image_size, image_size)), name=f"VGG{depth}")
+    ch = in_channels
+    idx = 0
+    for item in VGG_CONFIGS[depth]:
+        if item == "M":
+            net.append(MaxPool2d(kernel_size=2, stride=2), name=f"pool_{idx}")
+        else:
+            out_ch = int(item)
+            net.append(
+                Conv2d(in_channels=ch, out_channels=out_ch, kernel_size=3, padding=1, bias=True),
+                name=f"conv_{idx}",
+            )
+            if batch_norm:
+                net.append(BatchNorm2d(num_features=out_ch), name=f"bn_{idx}")
+            net.append(ReLU(), name=f"relu_{idx}")
+            ch = out_ch
+        idx += 1
+    net.append(AdaptiveAvgPool2d(output_size=7), name="head_pool")
+    net.append(Flatten(), name="head_flatten")
+    net.append(Linear(in_features=512 * 7 * 7, out_features=4096), name="fc1")
+    net.append(ReLU(), name="fc1_relu")
+    net.append(Dropout(p=0.5), name="fc1_drop")
+    net.append(Linear(in_features=4096, out_features=4096), name="fc2")
+    net.append(ReLU(), name="fc2_relu")
+    net.append(Dropout(p=0.5), name="fc2_drop")
+    net.append(Linear(in_features=4096, out_features=num_classes), name="fc3")
+    net.infer()
+    return net
+
+
+def vgg11(image_size: int = 224, num_classes: int = 1000) -> Sequential:
+    """VGG-11 (132.86 M parameters at 1000 classes)."""
+    return build_vgg(11, image_size, num_classes)
+
+
+def vgg16(image_size: int = 224, num_classes: int = 1000) -> Sequential:
+    """VGG-16 (138.36 M parameters at 1000 classes)."""
+    return build_vgg(16, image_size, num_classes)

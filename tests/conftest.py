@@ -1,0 +1,45 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    ConvLayer,
+    DenseLayer,
+    FlattenLayer,
+    MaxPoolLayer,
+    ReLULayer,
+    SequentialNet,
+)
+from repro.autodiff.data import image_blobs
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_cnn(rng: np.random.Generator) -> SequentialNet:
+    """An 8-layer conv chain used across executor tests."""
+    return SequentialNet(
+        [
+            ConvLayer(1, 4, 3, rng, padding=1, name="c1"),
+            ReLULayer("r1"),
+            MaxPoolLayer(2, "p1"),
+            ConvLayer(4, 8, 3, rng, padding=1, name="c2"),
+            ReLULayer("r2"),
+            FlattenLayer("fl"),
+            DenseLayer(8 * 4 * 4, 16, rng, "d1"),
+            DenseLayer(16, 3, rng, "d2"),
+        ],
+        name="small_cnn",
+    )
+
+
+@pytest.fixture
+def small_batch(rng: np.random.Generator):
+    data = image_blobs(n_per_class=6, num_classes=3, size=8, rng=rng)
+    return data.x[:8], data.y[:8]

@@ -1,0 +1,220 @@
+"""Residual blocks, avg-pool and deterministic dropout under schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    AvgPoolLayer,
+    ConvLayer,
+    DenseLayer,
+    DropoutLayer,
+    Momentum,
+    ReLULayer,
+    ResidualBlockLayer,
+    SequentialNet,
+    run_schedule,
+)
+from repro.checkpointing import revolve_schedule, uniform_schedule
+from repro.errors import ShapeError
+
+
+def numeric_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        fp = f()
+        x[i] = old - eps
+        fm = f()
+        x[i] = old
+        g[i] = (fp - fm) / (2 * eps)
+    return g
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+def make_block(rng, width=6, with_proj=False):
+    body = [
+        DenseLayer(width, width, rng, name="fc1"),
+        ReLULayer("r"),
+        DenseLayer(width, width, rng, name="fc2"),
+    ]
+    proj = DenseLayer(width, width, rng, name="proj") if with_proj else None
+    return ResidualBlockLayer(body, proj=proj, name="blk")
+
+
+class TestResidualBlock:
+    @pytest.mark.parametrize("with_proj", [False, True])
+    def test_gradients_numeric(self, rng, with_proj):
+        blk = make_block(rng, with_proj=with_proj)
+        x = rng.normal(size=(4, 6))
+        dy = rng.normal(size=(4, 6))
+
+        def objective():
+            return float((blk.forward(x) * dy).sum())
+
+        dx, grads = blk.backward(x, dy)
+        assert np.allclose(dx, numeric_grad(objective, x), atol=1e-6)
+        for key, g in grads.items():
+            gnum = numeric_grad(objective, blk.params[key])
+            assert np.allclose(g, gnum, atol=1e-6), key
+
+    def test_identity_skip_contribution(self, rng):
+        """With a zeroed body, the block is the identity."""
+        blk = make_block(rng)
+        for key in blk.params:
+            blk.params[key][:] = 0.0
+        x = rng.normal(size=(3, 6))
+        assert np.allclose(blk.forward(x), x)
+
+    def test_params_are_shared_arrays(self, rng):
+        blk = make_block(rng)
+        blk.params["fc1.W"][0, 0] = 123.0
+        assert blk.body[0].params["W"][0, 0] == 123.0
+
+    def test_shape_mismatch_without_proj(self, rng):
+        body = [DenseLayer(6, 4, rng, name="shrink")]
+        blk = ResidualBlockLayer(body, name="bad")
+        with pytest.raises(ShapeError):
+            blk.forward(rng.normal(size=(2, 6)))
+
+    def test_duplicate_subnames_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            ResidualBlockLayer(
+                [DenseLayer(4, 4, rng, name="a"), DenseLayer(4, 4, rng, name="a")]
+            )
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ShapeError):
+            ResidualBlockLayer([])
+
+    def test_checkpointed_resnet_training(self, rng):
+        """A chain of residual blocks trains identically under Revolve."""
+        blocks = [make_block(rng) for _ in range(1)]
+        blocks = []
+        for b in range(4):
+            body = [
+                DenseLayer(6, 6, rng, name=f"b{b}f1"),
+                ReLULayer(f"b{b}r"),
+                DenseLayer(6, 6, rng, name=f"b{b}f2"),
+            ]
+            blocks.append(ResidualBlockLayer(body, name=f"block{b}"))
+        net = SequentialNet(blocks + [DenseLayer(6, 3, rng, name="head")])
+        x = rng.normal(size=(5, 6))
+        y = rng.integers(0, 3, size=5)
+        loss_ref, grads_ref, _ = net.train_step(x, y)
+        for sch in (revolve_schedule(len(net), 2), uniform_schedule(len(net), 2)):
+            res = run_schedule(net, sch, x, y)
+            assert res.loss == loss_ref
+            for k in grads_ref:
+                assert np.array_equal(res.grads[k], grads_ref[k]), (sch.strategy, k)
+
+    def test_optimizer_updates_subparams(self, rng):
+        blk = make_block(rng)
+        net = SequentialNet([blk, DenseLayer(6, 2, rng, name="head")])
+        opt = Momentum(net.layers, lr=0.1)
+        x = rng.normal(size=(8, 6))
+        y = rng.integers(0, 2, size=8)
+        before = blk.params["fc1.W"].copy()
+        _, grads, _ = net.train_step(x, y)
+        opt.step(grads)
+        assert not np.array_equal(before, blk.params["fc1.W"])
+
+
+class TestAvgPool:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = AvgPoolLayer(2).forward(x)
+        assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_gradient_numeric(self, rng):
+        layer = AvgPoolLayer(2)
+        x = rng.normal(size=(2, 3, 4, 4))
+        dy = rng.normal(size=(2, 3, 2, 2))
+
+        def objective():
+            return float((layer.forward(x) * dy).sum())
+
+        dx, _ = layer.backward(x, dy)
+        assert np.allclose(dx, numeric_grad(objective, x), atol=1e-7)
+
+    def test_crop_on_non_divisible(self, rng):
+        out = AvgPoolLayer(2).forward(rng.normal(size=(1, 1, 5, 5)))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            AvgPoolLayer(0)
+        with pytest.raises(ShapeError):
+            AvgPoolLayer(2).forward(np.zeros((2, 3)))
+
+
+class TestDropout:
+    def test_mask_deterministic_within_step(self, rng):
+        d = DropoutLayer(0.5, seed=1)
+        d.set_step(3)
+        x = rng.normal(size=(4, 8))
+        assert np.array_equal(d.forward(x), d.forward(x))
+
+    def test_mask_changes_across_steps(self, rng):
+        d = DropoutLayer(0.5, seed=1)
+        x = rng.normal(size=(16, 16)) + 10.0
+        d.set_step(0)
+        a = d.forward(x)
+        d.set_step(1)
+        b = d.forward(x)
+        assert not np.array_equal(a, b)
+
+    def test_inverted_scaling_preserves_expectation(self, rng):
+        d = DropoutLayer(0.3, seed=0)
+        x = np.ones((200, 200))
+        d.set_step(0)
+        y = d.forward(x)
+        assert y.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self, rng):
+        d = DropoutLayer(0.5, seed=2)
+        d.set_step(7)
+        x = rng.normal(size=(5, 5))
+        y = d.forward(x)
+        dy = np.ones_like(x)
+        dx, _ = d.backward(x, dy)
+        # gradient is nonzero exactly where the forward kept values
+        assert np.array_equal(dx != 0, y != 0)
+
+    def test_eval_mode_passthrough(self, rng):
+        d = DropoutLayer(0.9, seed=0)
+        d.training = False
+        x = rng.normal(size=(3, 3))
+        assert np.array_equal(d.forward(x), x)
+
+    def test_checkpointed_equivalence_with_dropout(self, rng):
+        """Replay determinism => identical gradients under schedules."""
+        layers = [
+            DenseLayer(6, 6, rng, name="fc1"),
+            DropoutLayer(0.4, seed=5, name="drop"),
+            ReLULayer("r"),
+            DenseLayer(6, 3, rng, name="head"),
+        ]
+        net = SequentialNet(layers)
+        for layer in layers:
+            if isinstance(layer, DropoutLayer):
+                layer.set_step(11)
+        x = rng.normal(size=(4, 6))
+        y = rng.integers(0, 3, size=4)
+        loss_ref, grads_ref, _ = net.train_step(x, y)
+        res = run_schedule(net, revolve_schedule(4, 1), x, y)
+        assert res.loss == loss_ref
+        for k in grads_ref:
+            assert np.array_equal(res.grads[k], grads_ref[k])
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            DropoutLayer(1.0)
+        with pytest.raises(ValueError):
+            DropoutLayer(0.5).set_step(-1)

@@ -1,0 +1,96 @@
+"""Schedule JSON serialization: exact round trips, strict parsing."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checkpointing import (
+    Schedule,
+    revolve_schedule,
+    schedule_from_json,
+    schedule_to_json,
+    simulate,
+    uniform_schedule,
+)
+from repro.errors import ExecutionError, ScheduleError
+
+
+class TestRoundTrip:
+    @given(l=st.integers(1, 40), c=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_revolve_round_trip(self, l, c):
+        original = revolve_schedule(l, c)
+        restored = schedule_from_json(schedule_to_json(original))
+        assert restored == original
+
+    def test_uniform_round_trip(self):
+        original = uniform_schedule(20, 4)
+        restored = schedule_from_json(schedule_to_json(original))
+        assert restored == original
+        assert simulate(restored).peak_slots == simulate(original).peak_slots
+
+    def test_json_is_valid_and_versioned(self):
+        payload = json.loads(schedule_to_json(revolve_schedule(5, 2)))
+        assert payload["version"] == 1
+        assert payload["length"] == 5
+        assert all(len(a) == 2 for a in payload["actions"])
+
+    def test_indent_option(self):
+        text = schedule_to_json(revolve_schedule(3, 1), indent=2)
+        assert "\n" in text
+        assert schedule_from_json(text).length == 3
+
+
+class TestStrictParsing:
+    def good(self):
+        return json.loads(schedule_to_json(revolve_schedule(4, 2)))
+
+    def test_not_json(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_json("not json{")
+
+    def test_not_object(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_json("[1, 2]")
+
+    def test_wrong_version(self):
+        payload = self.good()
+        payload["version"] = 99
+        with pytest.raises(ScheduleError):
+            schedule_from_json(json.dumps(payload))
+
+    def test_missing_field(self):
+        payload = self.good()
+        del payload["slots"]
+        with pytest.raises(ScheduleError):
+            schedule_from_json(json.dumps(payload))
+
+    def test_bad_action_shape(self):
+        payload = self.good()
+        payload["actions"][0] = ["snapshot"]
+        with pytest.raises(ScheduleError):
+            schedule_from_json(json.dumps(payload))
+
+    def test_unknown_kind(self):
+        payload = self.good()
+        payload["actions"][0] = ["teleport", 0]
+        with pytest.raises(ScheduleError):
+            schedule_from_json(json.dumps(payload))
+
+    def test_negative_arg(self):
+        payload = self.good()
+        payload["actions"][0] = ["snapshot", -1]
+        with pytest.raises(ScheduleError):
+            schedule_from_json(json.dumps(payload))
+
+    def test_verify_rejects_invalid_schedule(self):
+        """Structurally valid JSON carrying a broken plan is caught by
+        the machine when verify=True."""
+        payload = self.good()
+        payload["actions"] = payload["actions"][:-1]  # drop final adjoint
+        with pytest.raises(ExecutionError):
+            schedule_from_json(json.dumps(payload), verify=True)
+        # And admitted when verification is explicitly skipped.
+        sch = schedule_from_json(json.dumps(payload), verify=False)
+        assert isinstance(sch, Schedule)

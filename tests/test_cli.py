@@ -1,0 +1,129 @@
+"""The command-line interface regenerates every artifact."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestTables:
+    def test_table1_default(self, capsys):
+        out = run(capsys, "table1")
+        assert "Table I" in out
+        assert "ResNet152" in out
+
+    def test_table1_csv(self, capsys):
+        out = run(capsys, "table1", "--csv")
+        assert out.splitlines()[0].startswith("batch,")
+
+    def test_table1_paper_source(self, capsys):
+        out = run(capsys, "table1", "--source", "paper")
+        assert "230.05" in out
+
+    def test_table1_compare(self, capsys):
+        out = run(capsys, "table1", "--compare")
+        assert "x)" in out
+
+    def test_table2(self, capsys):
+        out = run(capsys, "table2", "--source", "paper")
+        assert "1500" in out
+
+    def test_table3(self, capsys):
+        out = run(capsys, "table3", "--source", "paper")
+        assert "GB" in out
+
+
+class TestOtherArtifacts:
+    def test_section5(self, capsys):
+        out = run(capsys, "section5")
+        assert "Mem(l, s)" in out
+
+    def test_figure1_ascii(self, capsys):
+        out = run(capsys, "figure1", "--panel", "a")
+        assert "Figure 1a" in out
+
+    def test_figure1_csv(self, capsys):
+        out = run(capsys, "figure1", "--panel", "b", "--csv")
+        lines = out.splitlines()
+        assert lines[0] == "model,rho,memory_mb"
+        assert len(lines) > 100
+
+    def test_ablation(self, capsys):
+        out = run(capsys, "ablation")
+        assert "revolve" in out
+
+    def test_batch_tradeoff(self, capsys):
+        out = run(capsys, "batch-tradeoff", "--model", "18", "--images", "1000")
+        assert "ResNet18" in out
+
+    def test_viewpoint_small(self, capsys):
+        out = run(capsys, "viewpoint", "--subjects", "20", "--epochs", "3")
+        assert "teacher" in out
+        assert "recovery" in out
+
+    def test_summary(self, capsys):
+        out = run(capsys, "summary")
+        assert "Table I" in out
+        assert "Figure 1b" in out
+
+
+class TestExtensionCommands:
+    def test_pareto(self, capsys):
+        out = run(capsys, "pareto", "--length", "50")
+        assert "Pareto" in out
+        assert "slots" in out
+
+    def test_pareto_elides_long_frontier(self, capsys):
+        out = run(capsys, "pareto", "--length", "152")
+        assert "elided" in out
+
+    def test_disk_revolve(self, capsys):
+        out = run(capsys, "disk-revolve", "--length", "50", "--mem-slots", "2")
+        assert "two-level optimal cost" in out
+
+    def test_campaign(self, capsys):
+        out = run(capsys, "campaign", "--crossings", "200", "--target", "0.8")
+        assert "target reached" in out
+
+    def test_energy(self, capsys):
+        out = run(capsys, "energy")
+        assert "breakeven" in out
+        assert "Streaming" in out
+
+    def test_sensitivity(self, capsys):
+        out = run(capsys, "sensitivity")
+        assert "sensitivity" in out
+
+    def test_extended(self, capsys):
+        out = run(capsys, "extended")
+        assert "MobileNetV2" in out
+
+    def test_profile(self, capsys):
+        out = run(capsys, "profile", "--model", "18", "--top", "4")
+        assert "activation holders" in out
+
+    def test_fleet(self, capsys):
+        out = run(capsys, "fleet", "--nodes", "4", "--days", "10")
+        assert "isolated" in out and "federated" in out
+
+    def test_all_writes_artifacts(self, capsys, tmp_path):
+        out = run(capsys, "all", "--outdir", str(tmp_path))
+        assert out.count("wrote") >= 20
+        assert (tmp_path / "table1_ours.txt").exists()
+        assert (tmp_path / "figure1_b.csv").exists()

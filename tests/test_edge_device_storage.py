@@ -1,0 +1,114 @@
+"""Edge devices, storage sizing (paper Section III) and workloads."""
+
+import pytest
+
+from repro.edge import (
+    DEVICE_CATALOG,
+    GENERIC_2GB,
+    ODROID_XU4,
+    Device,
+    ImageStore,
+    PAPER_IMAGE_COUNT,
+    PAPER_IMAGE_KB,
+    TrainingWorkload,
+)
+from repro.errors import MemoryBudgetError
+from repro.units import GB, KB, MB
+
+
+class TestDevice:
+    def test_odroid_is_the_paper_node(self):
+        assert ODROID_XU4.mem_bytes == 2 * GB
+        assert ODROID_XU4.cores == 8
+
+    def test_catalog_keys_are_names(self):
+        for name, dev in DEVICE_CATALOG.items():
+            assert dev.name == name
+
+    def test_flops_prefers_gpu(self):
+        assert ODROID_XU4.flops_per_s == 30.0e9
+
+    def test_cpu_only_device(self):
+        assert DEVICE_CATALOG["RaspberryPi3B"].flops_per_s == 3.6e9
+
+    def test_with_memory(self):
+        bigger = ODROID_XU4.with_memory(4 * GB)
+        assert bigger.mem_bytes == 4 * GB
+        assert bigger.name == ODROID_XU4.name
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Device(name="x", mem_bytes=0, cpu_gflops=1.0, storage_bytes=1)
+        with pytest.raises(ValueError):
+            Device(name="x", mem_bytes=1, cpu_gflops=1.0, storage_bytes=1, idle_fraction=0.0)
+
+
+class TestImageStore:
+    def test_paper_sizing_claim(self):
+        """100k images at 10 kB is ~1 GB (not the paper's 'about 10GB');
+        either way it fits the node's SD card."""
+        store = ImageStore(capacity_bytes=ODROID_XU4.storage_bytes)
+        need = store.dataset_bytes(PAPER_IMAGE_COUNT)
+        assert need == pytest.approx(0.954 * GB, rel=0.01)
+        assert store.fits(PAPER_IMAGE_COUNT)
+
+    def test_image_bytes_default(self):
+        assert ImageStore(capacity_bytes=GB).image_bytes == PAPER_IMAGE_KB * KB
+
+    def test_max_images(self):
+        store = ImageStore(capacity_bytes=MB, image_bytes=KB)
+        assert store.max_images == 1024
+
+    def test_require_raises(self):
+        store = ImageStore(capacity_bytes=10 * KB, image_bytes=KB)
+        store.require(10)
+        with pytest.raises(MemoryBudgetError):
+            store.require(11)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImageStore(capacity_bytes=-1)
+        with pytest.raises(ValueError):
+            ImageStore(capacity_bytes=1, image_bytes=0)
+        with pytest.raises(ValueError):
+            ImageStore(capacity_bytes=1).dataset_bytes(-1)
+
+
+class TestWorkload:
+    def make(self, **kw):
+        base = dict(
+            model="R18",
+            chain_length=18,
+            slot_act_bytes_per_sample=1000,
+            fixed_bytes=10_000,
+            flops_per_sample=1e9,
+            n_images=1000,
+            batch_size=4,
+        )
+        base.update(kw)
+        return TrainingWorkload(**base)
+
+    def test_slot_bytes_scale_with_batch(self):
+        w = self.make(batch_size=8)
+        assert w.slot_bytes == 8 * 1000
+
+    def test_batches_per_epoch_ceil(self):
+        w = self.make(n_images=10, batch_size=3)
+        assert w.batches_per_epoch == 4
+
+    def test_step_flops_include_backward(self):
+        w = self.make(batch_size=2, bwd_ratio=2.0)
+        assert w.step_flops == 1e9 * 2 * 3.0
+
+    def test_with_batch_preserves_rest(self):
+        w = self.make().with_batch(16)
+        assert w.batch_size == 16
+        assert w.model == "R18"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(batch_size=0)
+        with pytest.raises(ValueError):
+            self.make(chain_length=0)
+        with pytest.raises(ValueError):
+            self.make(flops_per_sample=0)

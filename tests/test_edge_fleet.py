@@ -1,0 +1,67 @@
+"""Fleet simulation: isolation vs federation, communication priced."""
+
+import pytest
+
+from repro.edge import FleetConfig, simulate_fleet
+from repro.errors import PlanningError
+
+
+def cfg(**kw):
+    base = dict(n_nodes=8, days=20, seed=3)
+    base.update(kw)
+    return FleetConfig(**base)
+
+
+class TestFleet:
+    def test_isolated_no_radio(self):
+        res = simulate_fleet(cfg(federation_period=0))
+        assert res.radio_bytes_total == 0
+
+    def test_federated_pays_radio(self):
+        res = simulate_fleet(cfg(federation_period=5))
+        # 4 rounds x 2 x model_bytes x nodes
+        assert res.radio_bytes_total == 4 * 2 * 50_000_000 * 8
+
+    def test_accuracy_trajectories_monotone(self):
+        res = simulate_fleet(cfg())
+        means = [d.mean_accuracy for d in res.days]
+        assert means == sorted(means)
+
+    def test_federation_helps_slow_nodes(self):
+        """Sharing lifts the fleet *minimum* (low-traffic nodes gain most)."""
+        iso = simulate_fleet(cfg(federation_period=0))
+        fed = simulate_fleet(cfg(federation_period=5))
+        assert fed.worst_final_accuracy >= iso.worst_final_accuracy
+
+    def test_low_transfer_value_limits_benefit(self):
+        """The paper's caveat: viewpoint-specific knowledge transfers
+        poorly, so federation's gain shrinks with transfer_value."""
+        none = simulate_fleet(cfg(federation_period=5, transfer_value=0.0))
+        some = simulate_fleet(cfg(federation_period=5, transfer_value=0.5))
+        assert some.mean_final_accuracy >= none.mean_final_accuracy
+        iso = simulate_fleet(cfg(federation_period=0))
+        assert none.mean_final_accuracy == pytest.approx(iso.mean_final_accuracy)
+
+    def test_heterogeneous_traffic(self):
+        res = simulate_fleet(cfg(days=30))
+        accs = res.final_accuracies
+        assert max(accs) - min(accs) > 0.0  # nodes genuinely differ
+
+    def test_day_reaching_target(self):
+        res = simulate_fleet(cfg(days=60, crossings_per_day_mean=200.0))
+        day = res.day_reaching(0.7)
+        assert day is not None
+        assert res.days[day - 1].min_accuracy >= 0.7
+
+    def test_deterministic_under_seed(self):
+        a = simulate_fleet(cfg(seed=11))
+        b = simulate_fleet(cfg(seed=11))
+        assert a.final_accuracies == b.final_accuracies
+
+    def test_validation(self):
+        with pytest.raises(PlanningError):
+            FleetConfig(n_nodes=0)
+        with pytest.raises(PlanningError):
+            FleetConfig(transfer_value=1.5)
+        with pytest.raises(PlanningError):
+            FleetConfig(federation_period=-1)

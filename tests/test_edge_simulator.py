@@ -1,0 +1,126 @@
+"""Edge training-time simulation: efficiency, planning, duty cycle."""
+
+import numpy as np
+import pytest
+
+from repro.edge import (
+    DutyCycleSimulator,
+    GENERIC_2GB,
+    ODROID_XU4,
+    TrainingWorkload,
+    batch_efficiency,
+    estimate_epoch,
+    sweep_batch_sizes,
+)
+from repro.errors import MemoryBudgetError
+from repro.units import GB, MB
+
+
+def workload(depth=50, act_mb=144, fixed_mb=390, batch=8, images=10_000):
+    return TrainingWorkload(
+        model=f"ResNet{depth}",
+        chain_length=depth,
+        slot_act_bytes_per_sample=act_mb * MB // depth,
+        fixed_bytes=fixed_mb * MB,
+        flops_per_sample=8e9,
+        n_images=images,
+        batch_size=batch,
+    )
+
+
+class TestBatchEfficiency:
+    def test_monotone(self):
+        effs = [batch_efficiency(k) for k in (1, 2, 4, 8, 16, 32, 64)]
+        assert effs == sorted(effs)
+
+    def test_saturates_at_one(self):
+        assert batch_efficiency(32) == pytest.approx(1.0)
+        assert batch_efficiency(64) == pytest.approx(1.0)
+
+    def test_floor(self):
+        assert batch_efficiency(1, floor=0.2) >= 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_efficiency(0)
+        with pytest.raises(ValueError):
+            batch_efficiency(1, floor=0.0)
+
+
+class TestEstimateEpoch:
+    def test_fitting_workload_is_store_all(self):
+        est = estimate_epoch(workload(batch=1), ODROID_XU4)
+        assert est.plan.strategy == "store_all"
+        assert est.rho == 1.0
+
+    def test_tight_workload_uses_revolve(self):
+        est = estimate_epoch(workload(batch=16), ODROID_XU4)
+        assert est.plan.strategy == "revolve"
+        assert est.rho > 1.0
+        assert est.plan.memory_bytes <= ODROID_XU4.mem_bytes
+
+    def test_impossible_raises(self):
+        tiny = ODROID_XU4.with_memory(200 * MB)
+        with pytest.raises(MemoryBudgetError):
+            estimate_epoch(workload(batch=8), tiny)
+
+    def test_epoch_seconds_decomposition(self):
+        est = estimate_epoch(workload(batch=8), ODROID_XU4)
+        assert est.epoch_seconds == pytest.approx(est.step_seconds * est.batches)
+        assert est.samples_per_second > 0
+
+    def test_rho_raises_step_time(self):
+        """Same batch on a smaller device => recompute => slower step."""
+        big = estimate_epoch(workload(batch=8), ODROID_XU4.with_memory(8 * GB))
+        small = estimate_epoch(workload(batch=8), ODROID_XU4)
+        if small.rho > 1.0:
+            assert small.step_seconds > big.step_seconds
+
+
+class TestSweep:
+    def test_skips_infeasible(self):
+        tiny = ODROID_XU4.with_memory(600 * MB)
+        ests = sweep_batch_sizes(workload(), tiny, batch_sizes=(1, 64, 1024))
+        sizes = [e.batch_size for e in ests]
+        assert 1024 not in sizes
+
+    def test_paper_section6_story(self):
+        """Large batch + checkpointing beats batch-1 store-all on epoch
+        time, despite rho > 1 — the paper's closing argument."""
+        ests = sweep_batch_sizes(workload(), ODROID_XU4, batch_sizes=(1, 32))
+        by_batch = {e.batch_size: e for e in ests}
+        assert by_batch[32].plan.rho > 1.0
+        assert by_batch[32].epoch_seconds < by_batch[1].epoch_seconds
+
+
+class TestDutyCycle:
+    def test_zero_load_passthrough(self):
+        sim = DutyCycleSimulator(np.random.default_rng(0), arrival_rate_per_hour=0.0)
+        res = sim.run(1000.0)
+        assert res.wall_seconds == 1000.0
+        assert res.preemptions == 0
+
+    def test_expected_idle_fraction(self):
+        sim = DutyCycleSimulator(np.random.default_rng(0), arrival_rate_per_hour=6.0, mean_task_seconds=300.0)
+        # load = 6/3600 * 300 = 0.5 -> idle 2/3
+        assert sim.expected_idle_fraction == pytest.approx(2 / 3)
+
+    def test_simulated_matches_expectation(self):
+        rng = np.random.default_rng(1)
+        sim = DutyCycleSimulator(rng, arrival_rate_per_hour=12.0, mean_task_seconds=300.0)
+        res = sim.run(200_000.0)
+        assert res.achieved_idle_fraction == pytest.approx(sim.expected_idle_fraction, rel=0.1)
+
+    def test_wall_at_least_compute(self):
+        rng = np.random.default_rng(2)
+        sim = DutyCycleSimulator(rng)
+        res = sim.run(5000.0)
+        assert res.wall_seconds >= res.compute_seconds
+        assert res.wall_seconds == pytest.approx(res.compute_seconds + res.busy_seconds)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            DutyCycleSimulator(rng, arrival_rate_per_hour=-1)
+        with pytest.raises(ValueError):
+            DutyCycleSimulator(rng).run(-1.0)

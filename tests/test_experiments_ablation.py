@@ -1,0 +1,91 @@
+"""Ablation experiments: strategy dominance, batch trade-off, harvesting."""
+
+import math
+
+import pytest
+
+from repro.edge import ODROID_XU4, TrainingWorkload
+from repro.experiments import (
+    batch_tradeoff,
+    batch_tradeoff_table,
+    harvest_ablation,
+    strategy_ablation,
+    strategy_ablation_table,
+)
+from repro.studentteacher import PipelineConfig, StudentConfig
+from repro.units import MB
+
+
+class TestStrategyAblation:
+    def test_revolve_dominates_everywhere(self):
+        data = strategy_ablation(lengths=(18, 50, 152), slot_budgets=(3, 8, 21))
+        for rhos in data.values():
+            assert rhos["revolve"] <= rhos["uniform"] + 1e-12
+            assert rhos["revolve"] <= rhos["sqrt"] + 1e-12
+
+    def test_gap_widens_at_small_budgets(self):
+        """Where uniform is feasible, its overhead gap vs revolve shrinks
+        as the budget grows."""
+        data = strategy_ablation(lengths=(152,), slot_budgets=(21, 34, 55))
+        gaps = []
+        for c in (21, 34, 55):
+            rhos = data[(152, c)]
+            if math.isfinite(rhos["uniform"]):
+                gaps.append(rhos["uniform"] - rhos["revolve"])
+        assert gaps == sorted(gaps, reverse=True)
+
+    def test_table_renders(self):
+        text = strategy_ablation_table(lengths=(18,), slot_budgets=(3,)).render()
+        assert "revolve" in text and "uniform" in text
+
+
+def _workload():
+    return TrainingWorkload(
+        model="ResNet50",
+        chain_length=50,
+        slot_act_bytes_per_sample=3 * MB,
+        fixed_bytes=390 * MB,
+        flops_per_sample=8e9,
+        n_images=5_000,
+    )
+
+
+class TestBatchTradeoff:
+    def test_points_have_plan_fields(self):
+        pts = batch_tradeoff(_workload(), ODROID_XU4)
+        assert pts
+        for p in pts:
+            assert p.rho >= 1.0
+            assert 0 < p.efficiency <= 1.0
+            assert p.memory_mb <= ODROID_XU4.mem_bytes / MB + 1
+
+    def test_large_batch_wins_despite_rho(self):
+        """Section VI closing remark quantified."""
+        pts = {p.batch_size: p for p in batch_tradeoff(_workload(), ODROID_XU4)}
+        assert pts[32].rho > 1.0  # needed checkpointing
+        assert pts[32].epoch_seconds < pts[1].epoch_seconds
+
+    def test_table_renders(self):
+        text = batch_tradeoff_table(_workload(), ODROID_XU4).render()
+        assert "epoch" in text
+
+
+class TestHarvestAblation:
+    @pytest.fixture(scope="class")
+    def points(self):
+        cfg = PipelineConfig(n_subjects=40, student=StudentConfig(epochs=2))
+        return harvest_ablation(cfg, thresholds=(0.5, 0.9))
+
+    def test_covers_grid(self, points):
+        assert len(points) == 4
+        assert {p.label_source for p in points} == {"track_end", "max_confidence"}
+
+    def test_track_end_at_least_as_pure(self, points):
+        by = {(p.label_source, p.confidence_threshold): p for p in points}
+        for thr in (0.5, 0.9):
+            assert by[("track_end", thr)].purity >= by[("max_confidence", thr)].purity
+
+    def test_stricter_threshold_fewer_samples(self, points):
+        by = {(p.label_source, p.confidence_threshold): p for p in points}
+        for src in ("track_end", "max_confidence"):
+            assert by[(src, 0.9)].samples <= by[(src, 0.5)].samples

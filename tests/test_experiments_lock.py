@@ -1,0 +1,92 @@
+"""Regression locks for the numbers documented in EXPERIMENTS.md.
+
+If a refactor changes any headline value, these tests fail and the docs
+must be updated in the same change — documented claims can never drift
+from what the code produces.
+"""
+
+import pytest
+
+from repro.checkpointing import (
+    disk_revolve_cost,
+    opt_forwards,
+    uniform_memory_slots,
+)
+from repro.experiments import figure1_panel
+from repro.memory import fit_paper_coefficients
+from repro.units import GB, MB
+
+
+class TestFigure1FitRhoTable:
+    """The E5-E8 table (paper coefficients, default conventions)."""
+
+    EXPECTED = {
+        "a": {18: 1.0, 34: 1.0, 50: 1.0, 101: 1.0, 152: 1.0},
+        "b": {18: 1.0, 34: 1.0, 50: 1.10, 101: 1.30, 152: 1.40},
+        "c": {18: 1.0, 34: 1.0, 50: 1.0, 101: 1.15, 152: 1.30},
+        "d": {18: 1.10, 34: 1.25, 50: 1.60, 101: 1.75, 152: 2.00},
+    }
+
+    @pytest.mark.parametrize("panel", sorted(EXPECTED))
+    def test_fit_rhos(self, panel):
+        measured = {
+            s.depth: s.min_rho_under(2 * GB) for s in figure1_panel(panel, "paper")
+        }
+        for depth, expected in self.EXPECTED[panel].items():
+            assert measured[depth] == pytest.approx(expected, abs=1e-9), (panel, depth)
+
+
+class TestCoefficientLock:
+    """E1: the Table-I fit (MB)."""
+
+    EXPECTED = {
+        18: (175.05, 55.00),
+        34: (329.29, 83.71),
+        50: (384.85, 235.42),
+        101: (674.65, 352.56),
+        152: (913.36, 497.26),
+    }
+
+    @pytest.mark.parametrize("depth", sorted(EXPECTED))
+    def test_fixed_and_slope(self, depth):
+        cal = fit_paper_coefficients(depth)
+        fixed_mb, act_mb = self.EXPECTED[depth]
+        assert cal.fixed_bytes / MB == pytest.approx(fixed_mb, abs=0.05)
+        assert cal.act224_bytes / MB == pytest.approx(act_mb, abs=0.05)
+
+
+class TestSection5Lock:
+    """E4: best-s slot minima and the uniform formula's anchor values."""
+
+    BEST = {18: 8, 34: 13, 50: 14, 101: 20, 152: 26}
+
+    @pytest.mark.parametrize("l", sorted(BEST))
+    def test_best_slots(self, l):
+        best = min(uniform_memory_slots(l, s) for s in range(1, l + 1))
+        assert best == self.BEST[l]
+
+
+class TestDiskRevolveLock:
+    """E14: the headline two-tier numbers."""
+
+    def test_152_with_3_slots(self):
+        assert opt_forwards(152, 3) == 886
+        assert disk_revolve_cost(152, 3, 1.0, 1.0) == pytest.approx(336.0)
+
+    def test_free_and_expensive_limits(self):
+        assert disk_revolve_cost(152, 3, 0.0, 0.0) == 151.0
+        assert disk_revolve_cost(152, 3, 1e9, 1e9) == 886.0
+
+
+class TestRevolveAnchors:
+    """Closed-form anchor values quoted across the docs."""
+
+    def test_quadratic_single_slot(self):
+        assert opt_forwards(10, 1) == 45
+
+    def test_sweep_at_full_slots(self):
+        assert opt_forwards(50, 49) == 49
+
+    def test_known_mid_value(self):
+        # P(152, 5): quoted indirectly via extra(152,5)=399 in tests.
+        assert opt_forwards(152, 5) - 151 == 399

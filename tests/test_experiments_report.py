@@ -1,0 +1,66 @@
+"""ASCII tables and plots."""
+
+import pytest
+
+from repro.experiments import Table, ascii_plot
+
+
+class TestTable:
+    def make(self):
+        return Table(
+            title="T",
+            col_labels=["a", "b"],
+            row_labels=["r1", "r2"],
+            cells=[["1", "2"], ["3", "4"]],
+            row_header="row",
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        for token in ("T", "a", "b", "r1", "r2", "1", "4", "row"):
+            assert token in text
+
+    def test_render_aligned(self):
+        lines = self.make().render().splitlines()
+        data_lines = lines[1:]  # skip title
+        widths = {len(l) for l in data_lines if l.strip()}
+        assert len(widths) <= 2  # header/sep/data agree
+
+    def test_csv(self):
+        csv = self.make().to_csv()
+        assert csv.splitlines()[0] == "row,a,b"
+        assert csv.splitlines()[1] == "r1,1,2"
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Table(title="x", col_labels=["a"], row_labels=["r"], cells=[["1", "2"]])
+        with pytest.raises(ValueError):
+            Table(title="x", col_labels=["a"], row_labels=["r", "s"], cells=[["1"]])
+
+
+class TestAsciiPlot:
+    def test_marks_series(self):
+        text = ascii_plot({"s1": [(1.0, 1.0), (2.0, 2.0)], "s2": [(1.0, 2.0)]})
+        assert "o=s1" in text
+        assert "x=s2" in text
+
+    def test_hline_drawn(self):
+        text = ascii_plot(
+            {"s": [(0.0, 0.0), (1.0, 10.0)]},
+            hline=5.0,
+            hline_label="budget",
+        )
+        assert "=" in text
+        assert "budget" in text
+
+    def test_empty(self):
+        assert "no data" in ascii_plot({})
+
+    def test_degenerate_single_point(self):
+        text = ascii_plot({"s": [(1.0, 1.0)]})
+        assert "o" in text
+
+    def test_axis_ranges_reported(self):
+        text = ascii_plot({"s": [(1.0, 100.0), (3.0, 200.0)]}, x_label="rho", y_label="MB")
+        assert "rho: 1" in text
+        assert "MB: 100" in text

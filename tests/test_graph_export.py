@@ -1,0 +1,54 @@
+"""DOT and record export of graphs."""
+
+import pytest
+
+from repro.graph import to_dot, to_records
+from repro.zoo import simple_cnn, tiny_residual
+
+
+class TestDot:
+    def test_valid_digraph_structure(self):
+        dot = to_dot(tiny_residual())
+        assert dot.startswith('digraph "TinyResidual" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_every_node_and_edge_present(self):
+        g = tiny_residual()
+        dot = to_dot(g)
+        for node in g.nodes:
+            assert f'"{node.name}"' in dot
+        n_edges = sum(len(n.inputs) for n in g.nodes)
+        assert dot.count("->") == n_edges
+
+    def test_edge_labels_carry_bytes(self):
+        dot = to_dot(simple_cnn(image_size=16))
+        assert "KB" in dot or "MB" in dot
+
+    def test_param_counts_in_labels(self):
+        dot = to_dot(simple_cnn(image_size=16))
+        assert "params" in dot
+
+    def test_rankdir(self):
+        assert "rankdir=LR" in to_dot(simple_cnn(image_size=16), rankdir="LR")
+        with pytest.raises(ValueError):
+            to_dot(simple_cnn(image_size=16), rankdir="XX")
+
+
+class TestRecords:
+    def test_one_record_per_node(self):
+        g = tiny_residual()
+        records = to_records(g)
+        assert len(records) == len(g)
+
+    def test_record_fields(self):
+        rec = to_records(simple_cnn(image_size=16))[1]  # first conv
+        assert rec["kind"] == "Conv2d"
+        assert rec["output_shape"] == [16, 16, 16]
+        assert rec["trainable_params"] > 0
+        assert rec["inputs"] == ["input"]
+
+    def test_totals_recoverable(self):
+        g = tiny_residual()
+        records = to_records(g)
+        assert sum(r["trainable_params"] for r in records) == g.trainable_numel
+        assert sum(r["output_bytes"] for r in records) == g.activation_bytes_per_sample()

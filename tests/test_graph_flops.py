@@ -1,0 +1,52 @@
+"""FLOP reports and coarse step-time estimation."""
+
+import pytest
+
+from repro.graph import FlopReport, estimate_step_seconds, flop_report
+from repro.zoo import build_resnet, simple_mlp
+
+
+class TestFlopReport:
+    def test_training_step_decomposition(self):
+        rep = FlopReport(forward=100, backward_ratio=2.0)
+        assert rep.backward == 200
+        assert rep.training_step == 300
+
+    def test_report_from_graph(self):
+        g = simple_mlp(in_features=8, hidden=16, depth=2)
+        rep = flop_report(g)
+        assert rep.forward == g.total_flops_per_sample()
+
+    def test_custom_backward_ratio(self):
+        g = simple_mlp()
+        rep = flop_report(g, backward_ratio=1.0)
+        assert rep.training_step == 2 * rep.forward
+
+    def test_resnet_training_flops_scale(self):
+        r18 = flop_report(build_resnet(18, image_size=64))
+        r50 = flop_report(build_resnet(50, image_size=64))
+        assert r50.training_step > r18.training_step
+
+
+class TestStepSeconds:
+    def test_linear_in_batch(self):
+        t1 = estimate_step_seconds(1e9, 1, 10e9)
+        t4 = estimate_step_seconds(1e9, 4, 10e9)
+        assert t4 == pytest.approx(4 * t1)
+
+    def test_efficiency_divides(self):
+        full = estimate_step_seconds(1e9, 1, 10e9, efficiency=1.0)
+        half = estimate_step_seconds(1e9, 1, 10e9, efficiency=0.5)
+        assert half == pytest.approx(2 * full)
+
+    def test_known_value(self):
+        # 1 GFLOP at 1 GFLOP/s -> 1 second.
+        assert estimate_step_seconds(1e9, 1, 1e9) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_step_seconds(1e9, 0, 1e9)
+        with pytest.raises(ValueError):
+            estimate_step_seconds(1e9, 1, 1e9, efficiency=0.0)
+        with pytest.raises(ValueError):
+            estimate_step_seconds(1e9, 1, 0.0)

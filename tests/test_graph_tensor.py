@@ -1,0 +1,99 @@
+"""TensorSpec and convolution/pooling shape arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.graph import TensorSpec, conv2d_output_hw, pool2d_output_hw
+
+
+class TestTensorSpec:
+    def test_numel_and_nbytes(self):
+        spec = TensorSpec((3, 224, 224))
+        assert spec.numel == 3 * 224 * 224
+        assert spec.nbytes == spec.numel * 4
+
+    def test_float16_halves_bytes(self):
+        a = TensorSpec((8, 8), dtype="float32")
+        b = TensorSpec((8, 8), dtype="float16")
+        assert b.nbytes * 2 == a.nbytes
+
+    def test_rank(self):
+        assert TensorSpec((10,)).rank == 1
+        assert TensorSpec((3, 4, 5)).rank == 3
+
+    def test_with_shape_keeps_dtype(self):
+        spec = TensorSpec((4,), dtype="float64")
+        assert spec.with_shape((2, 2)).dtype == "float64"
+
+    @pytest.mark.parametrize("bad", [(), (0,), (-1, 3), (3, 0, 5)])
+    def test_invalid_shapes_rejected(self, bad):
+        with pytest.raises(ShapeError):
+            TensorSpec(bad)
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec((3,), dtype="complex128")
+
+    def test_frozen(self):
+        spec = TensorSpec((3,))
+        with pytest.raises(AttributeError):
+            spec.shape = (4,)  # type: ignore[misc]
+
+
+class TestConvArithmetic:
+    def test_resnet_stem(self):
+        # 7x7/2 pad 3 on 224 -> 112 (the ResNet stem conv).
+        assert conv2d_output_hw(224, 224, (7, 7), (2, 2), (3, 3)) == (112, 112)
+
+    def test_same_padding_3x3(self):
+        assert conv2d_output_hw(56, 56, (3, 3), (1, 1), (1, 1)) == (56, 56)
+
+    def test_stride_two_halves(self):
+        assert conv2d_output_hw(56, 56, (3, 3), (2, 2), (1, 1)) == (28, 28)
+
+    def test_1x1(self):
+        assert conv2d_output_hw(14, 14, (1, 1), (1, 1), (0, 0)) == (14, 14)
+
+    def test_dilation(self):
+        # effective kernel 5 with dilation 2 on k=3.
+        assert conv2d_output_hw(10, 10, (3, 3), (1, 1), (0, 0), (2, 2)) == (6, 6)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ShapeError):
+            conv2d_output_hw(2, 2, (5, 5), (1, 1), (0, 0))
+
+    @given(
+        h=st.integers(8, 64),
+        k=st.integers(1, 5),
+        s=st.integers(1, 3),
+        p=st.integers(0, 2),
+    )
+    def test_output_positive_and_bounded(self, h, k, s, p):
+        """Output never exceeds input+2p and is positive when valid."""
+        if h + 2 * p < k:
+            return
+        oh, ow = conv2d_output_hw(h, h, (k, k), (s, s), (p, p))
+        assert 1 <= oh <= h + 2 * p
+        assert oh == ow
+
+
+class TestPoolArithmetic:
+    def test_resnet_maxpool(self):
+        # 3x3/2 pad 1 on 112 -> 56.
+        assert pool2d_output_hw(112, 112, (3, 3), (2, 2), (1, 1)) == (56, 56)
+
+    def test_ceil_mode_rounds_up(self):
+        floor = pool2d_output_hw(7, 7, (2, 2), (2, 2), (0, 0), ceil_mode=False)
+        ceil = pool2d_output_hw(7, 7, (2, 2), (2, 2), (0, 0), ceil_mode=True)
+        assert floor == (3, 3)
+        assert ceil == (4, 4)
+
+    def test_ceil_mode_clamps_to_input(self):
+        # Window starting in pure padding must be dropped (PyTorch rule).
+        out = pool2d_output_hw(4, 4, (2, 2), (2, 2), (1, 1), ceil_mode=True)
+        assert out == (3, 3)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ShapeError):
+            pool2d_output_hw(2, 2, (4, 4), (1, 1), (0, 0))

@@ -1,0 +1,87 @@
+"""Accounting policies: fixed/variable decomposition of training memory."""
+
+import pytest
+
+from repro.memory import (
+    ADAM_POLICY,
+    INFERENCE_POLICY,
+    MOMENTUM_POLICY,
+    SGD_POLICY,
+    TRAINING_POLICY,
+    AccountingPolicy,
+    account,
+)
+from repro.zoo import build_resnet, simple_cnn
+
+
+@pytest.fixture(scope="module")
+def r18():
+    return build_resnet(18, image_size=64)
+
+
+class TestPolicies:
+    def test_weight_copies_ladder(self):
+        assert INFERENCE_POLICY.weight_copies == 1
+        assert SGD_POLICY.weight_copies == 2
+        assert MOMENTUM_POLICY.weight_copies == 3
+        assert ADAM_POLICY.weight_copies == 4
+
+    def test_default_is_paper_convention(self):
+        assert TRAINING_POLICY.weight_copies == 4
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            AccountingPolicy(name="bad", weight_copies=0)
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            AccountingPolicy(name="bad", activation_copies=0.0)
+
+
+class TestAccount:
+    def test_fixed_is_copies_times_weights_plus_buffers(self, r18):
+        acct = account(r18, TRAINING_POLICY)
+        assert acct.fixed_bytes == 4 * acct.weight_bytes + acct.buffer_bytes
+
+    def test_inference_fixed_is_single_copy(self, r18):
+        acct = account(r18, INFERENCE_POLICY)
+        assert acct.fixed_bytes == acct.weight_bytes + acct.buffer_bytes
+
+    def test_total_linear_in_batch(self, r18):
+        acct = account(r18)
+        t1, t3, t5 = (acct.total_bytes(k) for k in (1, 3, 5))
+        assert t3 - t1 == 2 * acct.act_bytes_per_sample
+        assert t5 - t3 == 2 * acct.act_bytes_per_sample
+
+    def test_batch_validation(self, r18):
+        with pytest.raises(ValueError):
+            account(r18).total_bytes(0)
+
+    def test_count_input_toggle(self, r18):
+        with_input = account(r18, AccountingPolicy(name="a", count_input=True))
+        without = account(r18, AccountingPolicy(name="b", count_input=False))
+        diff = with_input.act_bytes_per_sample - without.act_bytes_per_sample
+        assert diff == with_input.input_bytes_per_sample
+        assert diff == 3 * 64 * 64 * 4
+
+    def test_count_inplace_toggle(self, r18):
+        w = account(r18, AccountingPolicy(name="a", count_inplace=True))
+        wo = account(r18, AccountingPolicy(name="b", count_inplace=False))
+        assert w.act_bytes_per_sample > wo.act_bytes_per_sample
+
+    def test_activation_copies_scales(self, r18):
+        x1 = account(r18, AccountingPolicy(name="a", activation_copies=1.0))
+        x2 = account(r18, AccountingPolicy(name="b", activation_copies=2.0))
+        assert x2.act_bytes_per_sample == pytest.approx(2 * x1.act_bytes_per_sample, abs=2)
+
+    def test_buffers_optional(self, r18):
+        w = account(r18, AccountingPolicy(name="a", count_buffers=True))
+        wo = account(r18, AccountingPolicy(name="b", count_buffers=False))
+        assert w.fixed_bytes - wo.fixed_bytes == w.buffer_bytes
+        assert wo.buffer_bytes == 0
+
+    def test_small_model_consistency(self):
+        g = simple_cnn(image_size=16)
+        acct = account(g)
+        assert acct.weight_bytes == g.trainable_bytes
+        assert acct.act_bytes_per_sample == g.activation_bytes_per_sample()

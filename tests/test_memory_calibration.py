@@ -1,0 +1,79 @@
+"""Paper calibration: the published tables are affine in k, quadratic in s."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.memory import (
+    PAPER_BATCH_SIZES,
+    PAPER_IMAGE_SIZES_T3,
+    PAPER_TABLE1_MB,
+    PAPER_TABLE2_MB,
+    PAPER_TABLE3_GB,
+    calibrated_models,
+    fit_paper_coefficients,
+)
+from repro.units import GB, MB
+
+DEPTHS = (18, 34, 50, 101, 152)
+
+
+class TestFit:
+    @pytest.mark.parametrize("depth", DEPTHS)
+    def test_affine_fit_reproduces_table1(self, depth):
+        """Every Table I cell is reproduced to < 0.05 MB by the affine fit."""
+        cal = fit_paper_coefficients(depth)
+        for k in PAPER_BATCH_SIZES:
+            published = PAPER_TABLE1_MB[k][depth]
+            assert cal.total_mb(batch_size=k) == pytest.approx(published, abs=0.05)
+
+    @pytest.mark.parametrize("depth", DEPTHS)
+    def test_quadratic_scaling_reproduces_table2(self, depth):
+        """Table II follows act(s) = act(224)·(s/224)² to ~2.5%.
+
+        The residual (largest for the bottleneck nets at 500 px) is
+        convolution rounding at image sizes that are not stride
+        multiples — the paper measured real graphs, the calibration is a
+        pure quadratic.
+        """
+        cal = fit_paper_coefficients(depth)
+        for s, row in PAPER_TABLE2_MB.items():
+            assert cal.total_mb(batch_size=1, image_size=s) == pytest.approx(
+                row[depth], rel=0.025
+            )
+
+    @pytest.mark.parametrize("depth", DEPTHS)
+    def test_table3_is_batch8_of_the_same_model(self, depth):
+        cal = fit_paper_coefficients(depth)
+        for s in PAPER_IMAGE_SIZES_T3:
+            published_gb = PAPER_TABLE3_GB[s][depth]
+            ours_gb = cal.total_bytes(batch_size=8, image_size=s) / GB
+            # rel 3%: same conv-rounding residual as Table II, amplified
+            # by the batch factor at 500 px.
+            assert ours_gb == pytest.approx(published_gb, rel=0.03, abs=0.02)
+
+    @pytest.mark.parametrize("depth", DEPTHS)
+    def test_fixed_cost_is_about_four_weight_copies(self, depth):
+        """The paper's fixed cost is 3.9-4.0x the fp32 weight size."""
+        from repro.zoo import build_resnet
+
+        cal = fit_paper_coefficients(depth)
+        weights = build_resnet(depth).trainable_bytes
+        ratio = cal.fixed_bytes / weights
+        assert 3.85 < ratio < 4.05
+
+    def test_unknown_depth(self):
+        with pytest.raises(CalibrationError):
+            fit_paper_coefficients(77)
+
+    def test_calibrated_models_keys(self):
+        assert set(calibrated_models()) == set(DEPTHS)
+
+    def test_known_coefficients(self):
+        """The R18 fit lands on the hand-derived (175.05, 55.00) MB."""
+        cal = fit_paper_coefficients(18)
+        assert cal.fixed_bytes / MB == pytest.approx(175.05, abs=0.05)
+        assert cal.act224_bytes / MB == pytest.approx(55.00, abs=0.05)
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            fit_paper_coefficients(18).total_bytes(batch_size=0)

@@ -1,0 +1,52 @@
+"""Device-fit grids: the shaded cells of the paper's tables."""
+
+import pytest
+
+from repro.memory import calibrated_models, fit_grid_calibrated
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return fit_grid_calibrated(
+        calibrated_models().values(),
+        batch_sizes=(1, 3, 5, 10, 30, 50),
+        image_sizes=(224,),
+        budget_bytes=2 * GB,
+    )
+
+
+class TestFitGrid:
+    def test_cell_lookup(self, grid):
+        cell = grid.cell("ResNet18", 1, 224)
+        assert cell.total_mb == pytest.approx(230.05, abs=0.1)
+        assert cell.fits
+
+    def test_missing_cell_raises(self, grid):
+        with pytest.raises(KeyError):
+            grid.cell("ResNet18", 2, 224)
+
+    def test_paper_shading_batch3(self, grid):
+        """At batch 3 only ResNet-152 exceeds 2 GB (the paper's shading)."""
+        over = {c.model for c in grid.shaded if c.batch_size == 3}
+        assert over == {"ResNet152"}
+
+    def test_paper_shading_batch30(self, grid):
+        """At batch 30 only ResNet-18 still fits."""
+        fits = {
+            c.model
+            for c in grid.cells
+            if c.batch_size == 30 and c.fits
+        }
+        assert fits == {"ResNet18"}
+
+    def test_paper_shading_batch50_none_fit(self, grid):
+        fits = [c for c in grid.cells if c.batch_size == 50 and c.fits]
+        assert fits == []
+
+    def test_batch1_all_fit(self, grid):
+        assert all(c.fits for c in grid.cells if c.batch_size == 1)
+
+    def test_fitting_fraction(self, grid):
+        frac = grid.fitting_fraction()
+        assert 0.0 < frac < 1.0

@@ -1,0 +1,56 @@
+"""Per-layer memory profiling."""
+
+import pytest
+
+from repro.memory import memory_profile
+from repro.zoo import build_resnet, simple_cnn
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return memory_profile(build_resnet(18, image_size=224))
+
+
+class TestProfile:
+    def test_totals_match_graph(self, profile):
+        g = build_resnet(18, image_size=224)
+        assert profile.total_act_bytes == g.activation_bytes_per_sample()
+        assert profile.total_param_bytes == g.trainable_bytes
+
+    def test_top_activations_are_early_layers(self, profile):
+        """High-resolution stem/stage-1 nodes hold the biggest tensors."""
+        top = profile.top_activations(5)
+        assert all(
+            p.name.startswith(("stem", "layer1", "input")) for p in top
+        ), [p.name for p in top]
+
+    def test_top_parameters_are_late_layers(self, profile):
+        top = profile.top_parameters(5)
+        assert all(p.name.startswith(("layer4", "layer3", "head")) for p in top), [
+            p.name for p in top
+        ]
+
+    def test_activation_share_partition(self, profile):
+        shares = [
+            profile.activation_share(p)
+            for p in ("input", "stem", "layer1", "layer2", "layer3", "layer4", "head")
+        ]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_share_decreases_down_the_net(self, profile):
+        s1 = profile.activation_share("layer1")
+        s4 = profile.activation_share("layer4")
+        assert s1 > s4
+
+    def test_top_k_bounded(self, profile):
+        assert len(profile.top_activations(3)) == 3
+
+    def test_render(self, profile):
+        text = profile.render(5)
+        assert "activation holders" in text
+        assert "parameter holders" in text
+
+    def test_small_model(self):
+        prof = memory_profile(simple_cnn(image_size=16))
+        assert prof.total_act_bytes > 0
+        assert prof.activation_share("conv1") > 0

@@ -1,0 +1,111 @@
+"""Confusion matrices and confidence calibration."""
+
+import numpy as np
+import pytest
+
+from repro.studentteacher import (
+    TeacherModel,
+    ViewpointWorld,
+    calibration_curve,
+    confusion_matrix,
+    expected_calibration_error,
+    per_class_accuracy,
+)
+
+
+class TestConfusion:
+    def test_perfect_prediction_is_diagonal(self):
+        y = np.array([0, 1, 2, 1, 0])
+        m = confusion_matrix(y, y, 3)
+        assert np.array_equal(m, np.diag([2, 2, 1]))
+
+    def test_counts_off_diagonal(self):
+        y_true = np.array([0, 0, 1])
+        y_pred = np.array([1, 0, 1])
+        m = confusion_matrix(y_true, y_pred, 2)
+        assert m[0, 1] == 1 and m[0, 0] == 1 and m[1, 1] == 1
+
+    def test_row_sums_are_class_counts(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, size=100)
+        y_pred = rng.integers(0, 4, size=100)
+        m = confusion_matrix(y_true, y_pred, 4)
+        assert np.array_equal(m.sum(axis=1), np.bincount(y_true, minlength=4))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3, dtype=int), np.zeros(4, dtype=int), 2)
+
+    def test_per_class_accuracy(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        acc = per_class_accuracy(y_true, y_pred, 3)
+        assert acc[0] == pytest.approx(0.5)
+        assert acc[1] == pytest.approx(1.0)
+        assert acc[2] == 1.0  # absent class reports 1.0
+
+
+class TestCalibration:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(1)
+        conf = rng.uniform(0.1, 1.0, size=20_000)
+        correct = rng.random(20_000) < conf
+        assert expected_calibration_error(conf, correct) < 0.02
+
+    def test_overconfident_detected(self):
+        conf = np.full(1000, 0.95)
+        correct = np.zeros(1000, dtype=bool)
+        correct[:500] = True  # 50% accuracy at 95% confidence
+        assert expected_calibration_error(conf, correct) == pytest.approx(0.45, abs=0.01)
+
+    def test_bins_partition(self):
+        rng = np.random.default_rng(2)
+        conf = rng.uniform(0, 1, size=500)
+        correct = rng.random(500) < 0.5
+        bins = calibration_curve(conf, correct, n_bins=10)
+        assert sum(b.count for b in bins) == 500
+
+    def test_empty_bins_skipped(self):
+        conf = np.array([0.95, 0.96])
+        bins = calibration_curve(conf, np.array([True, False]), n_bins=10)
+        assert len(bins) == 1
+        assert bins[0].lo == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibration_curve(np.zeros(3), np.zeros(2, dtype=bool))
+        with pytest.raises(ValueError):
+            calibration_curve(np.zeros(3), np.zeros(3, dtype=bool), n_bins=0)
+
+
+class TestTeacherCalibration:
+    """The world-level story the harvest threshold depends on."""
+
+    @pytest.fixture(scope="class")
+    def world_teacher(self):
+        rng = np.random.default_rng(5)
+        world = ViewpointWorld(num_classes=5, feature_dim=8, rng=rng)
+        x, y = world.sample_frontal(300)
+        return world, TeacherModel.fit(x, y)
+
+    def test_frontal_confidence_informative(self, world_teacher):
+        """Near-frontal, high confidence implies high accuracy."""
+        world, teacher = world_teacher
+        rng = np.random.default_rng(6)
+        ys = rng.integers(0, 5, size=600)
+        xs = np.stack([world.observe(int(c), float(rng.uniform(-12, 12))) for c in ys])
+        pred, conf = teacher.predict(xs)
+        bins = calibration_curve(conf, pred == ys, n_bins=5)
+        top = bins[-1]
+        assert top.accuracy > 0.95
+
+    def test_skewed_confidence_misleading(self, world_teacher):
+        """At 60 degrees, aspect confusion makes the teacher confidently
+        wrong — the quantitative case for track-end labelling."""
+        world, teacher = world_teacher
+        rng = np.random.default_rng(7)
+        ys = rng.integers(0, 5, size=600)
+        xs = np.stack([world.observe(int(c), 60.0) for c in ys])
+        pred, conf = teacher.predict(xs)
+        ece = expected_calibration_error(conf, pred == ys)
+        assert ece > 0.3

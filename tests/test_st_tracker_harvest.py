@@ -1,0 +1,127 @@
+"""Tracker association quality and label harvesting."""
+
+import numpy as np
+import pytest
+
+from repro.studentteacher import (
+    TeacherModel,
+    ViewpointWorld,
+    harvest_labels,
+    track_episode,
+)
+
+
+@pytest.fixture
+def world():
+    return ViewpointWorld(num_classes=4, feature_dim=8, rng=np.random.default_rng(3))
+
+
+@pytest.fixture
+def episode(world):
+    return world.generate_episode(n_subjects=20, frames_per_crossing=12, clutter_rate=0.2)
+
+
+@pytest.fixture
+def teacher(world):
+    x, y = world.sample_frontal(150)
+    return TeacherModel.fit(x, y)
+
+
+def association_purity(episode, assignments):
+    """For each tracker track, the fraction of its detections belonging to
+    its majority ground-truth subject."""
+    from collections import Counter, defaultdict
+
+    by_track = defaultdict(list)
+    for a in assignments:
+        det = episode.frames[a.t].detections[a.det_index]
+        by_track[a.track_id].append(det.truth_track)
+    pure, total = 0, 0
+    for members in by_track.values():
+        if len(members) < 3:
+            continue
+        c = Counter(members)
+        pure += c.most_common(1)[0][1]
+        total += len(members)
+    return pure / max(1, total)
+
+
+class TestTracker:
+    def test_every_detection_assigned(self, episode):
+        assignments = track_episode(episode)
+        n_dets = episode.num_detections
+        assert len(assignments) == n_dets
+
+    def test_association_purity_high(self, episode):
+        assignments = track_episode(episode)
+        assert association_purity(episode, assignments) > 0.9
+
+    def test_subject_tracks_recovered_whole(self, world):
+        """With no clutter and spaced subjects, each subject maps to one
+        tracker id for its entire crossing."""
+        ep = world.generate_episode(
+            n_subjects=5, frames_per_crossing=10, clutter_rate=0.0, spacing=15
+        )
+        assignments = track_episode(ep)
+        from collections import defaultdict
+
+        truth_to_tracker = defaultdict(set)
+        for a in assignments:
+            det = ep.frames[a.t].detections[a.det_index]
+            if det.truth_track >= 0:
+                truth_to_tracker[det.truth_track].add(a.track_id)
+        assert all(len(v) == 1 for v in truth_to_tracker.values())
+
+    def test_gate_prevents_teleport_association(self, world):
+        ep = world.generate_episode(n_subjects=2, frames_per_crossing=8, clutter_rate=0.0, spacing=30)
+        assignments = track_episode(ep, gate=1e-6)
+        # With a tiny gate every detection opens its own track.
+        ids = {a.track_id for a in assignments}
+        assert len(ids) == len(assignments)
+
+
+class TestHarvest:
+    def test_track_end_labelling_purity(self, episode, teacher):
+        assignments = track_episode(episode)
+        h = harvest_labels(episode, assignments, teacher, label_source="track_end")
+        assert len(h) > 50
+        assert h.label_purity > 0.75
+
+    def test_track_end_beats_max_confidence(self, episode, teacher):
+        """The paper's last-frame rule yields purer labels than trusting
+        raw confidence (which is fooled by aspect confusion)."""
+        assignments = track_episode(episode)
+        end = harvest_labels(episode, assignments, teacher, label_source="track_end")
+        conf = harvest_labels(episode, assignments, teacher, label_source="max_confidence")
+        assert end.label_purity >= conf.label_purity
+
+    def test_threshold_filters_tracks(self, episode, teacher):
+        assignments = track_episode(episode)
+        strict = harvest_labels(episode, assignments, teacher, confidence_threshold=0.999)
+        lax = harvest_labels(episode, assignments, teacher, confidence_threshold=0.5)
+        assert strict.tracks_labelled <= lax.tracks_labelled
+
+    def test_short_tracks_dropped(self, episode, teacher):
+        assignments = track_episode(episode)
+        h = harvest_labels(episode, assignments, teacher, min_track_length=10**6)
+        assert len(h) == 0
+        assert h.label_purity == 1.0  # vacuous
+
+    def test_each_label_propagates_many_frames(self, episode, teacher):
+        """'Every such instance contributes tens of images' (Section III)."""
+        assignments = track_episode(episode)
+        h = harvest_labels(episode, assignments, teacher)
+        if h.tracks_labelled:
+            assert len(h) / h.tracks_labelled >= 8
+
+    def test_arrays_consistent(self, episode, teacher):
+        assignments = track_episode(episode)
+        h = harvest_labels(episode, assignments, teacher)
+        assert h.x.shape[0] == len(h.y) == len(h.angles) == len(h)
+
+    def test_validation(self, episode, teacher):
+        assignments = track_episode(episode)
+        with pytest.raises(ValueError):
+            harvest_labels(episode, assignments, teacher, confidence_threshold=0.0)
+        with pytest.raises(ValueError):
+            harvest_labels(episode, assignments, teacher, label_source="oracle")

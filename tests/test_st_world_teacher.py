@@ -1,0 +1,125 @@
+"""Viewpoint world and teacher: the viewpoint problem must be real."""
+
+import numpy as np
+import pytest
+
+from repro.studentteacher import TeacherModel, ViewpointWorld
+
+
+@pytest.fixture
+def world():
+    return ViewpointWorld(num_classes=5, feature_dim=8, rng=np.random.default_rng(0))
+
+
+class TestWorld:
+    def test_prototypes_well_separated(self, world):
+        d = np.linalg.norm(world.prototypes[0] - world.prototypes[1])
+        assert d > 1.0
+
+    def test_frontal_sample_shapes(self, world):
+        x, y = world.sample_frontal(10)
+        assert x.shape == (50, 8)
+        assert set(np.unique(y)) == set(range(5))
+
+    def test_observation_noise_only_at_fixed_angle(self, world):
+        a = world.observe(0, 0.0, np.random.default_rng(1))
+        b = world.observe(0, 0.0, np.random.default_rng(2))
+        assert a.shape == b.shape
+        assert not np.array_equal(a, b)  # noise differs
+        assert np.linalg.norm(a - b) < 3.0  # but same underlying signal
+
+    def test_aspect_confusion_drifts_toward_neighbour(self, world):
+        """At large θ, class c's observation approaches class c+1's
+        prototype — the engineered viewpoint failure mode."""
+        world.noise = 0.0
+        frontal = world.observe(0, 0.0)
+        skewed = world.observe(0, 75.0)
+        p0, p1 = world.prototypes[0], world.prototypes[1]
+        assert np.linalg.norm(frontal - p0) < np.linalg.norm(frontal - p1)
+        assert np.linalg.norm(skewed - p1) < np.linalg.norm(skewed - p0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ViewpointWorld(num_classes=1)
+        with pytest.raises(ValueError):
+            ViewpointWorld(num_classes=3, feature_dim=1)
+
+
+class TestEpisode:
+    def test_track_counts(self, world):
+        ep = world.generate_episode(n_subjects=10, frames_per_crossing=15)
+        assert len(ep.tracks) == 10
+        subject_dets = [d for f in ep.frames for d in f.detections if d.truth_track >= 0]
+        assert len(subject_dets) == 10 * 15
+
+    def test_angle_sweeps_to_frontal(self, world):
+        ep = world.generate_episode(n_subjects=3, frames_per_crossing=10, camera_skew_deg=50.0)
+        for tr in ep.tracks:
+            dets = [
+                d
+                for f in ep.frames
+                for d in f.detections
+                if d.truth_track == tr.track_id
+            ]
+            angles = [d.angle_deg for d in dets]
+            assert angles[0] == pytest.approx(50.0)
+            assert abs(angles[-1]) <= 12.0 + 1e-9
+
+    def test_positions_cross_frame(self, world):
+        ep = world.generate_episode(n_subjects=2, frames_per_crossing=10)
+        tr = ep.tracks[0]
+        dets = [d for f in ep.frames for d in f.detections if d.truth_track == tr.track_id]
+        xs = [d.position[0] for d in dets]
+        assert abs(xs[-1] - xs[0]) == pytest.approx(world.frame_width)
+
+    def test_clutter_marked(self, world):
+        ep = world.generate_episode(n_subjects=2, frames_per_crossing=5, clutter_rate=2.0)
+        clutter = [d for f in ep.frames for d in f.detections if d.truth_track == -1]
+        assert len(clutter) > 0
+
+    def test_validation(self, world):
+        with pytest.raises(ValueError):
+            world.generate_episode(n_subjects=0)
+
+
+class TestTeacher:
+    def test_frontal_accuracy_high(self, world):
+        x, y = world.sample_frontal(100)
+        teacher = TeacherModel.fit(x, y)
+        assert teacher.accuracy(x, y) > 0.95
+
+    def test_viewpoint_problem_exists(self, world):
+        """Accuracy at 60 degrees collapses versus frontal — the paper's
+        premise, quantified."""
+        x, y = world.sample_frontal(100)
+        teacher = TeacherModel.fit(x, y)
+        x_skew = np.stack([world.observe(int(c), 60.0) for c in y])
+        assert teacher.accuracy(x_skew, y) < 0.5
+
+    def test_accuracy_monotone_degrades(self, world):
+        x, y = world.sample_frontal(200)
+        teacher = TeacherModel.fit(x, y)
+        accs = []
+        for angle in (0.0, 20.0, 40.0, 60.0):
+            xa = np.stack([world.observe(int(c), angle) for c in y])
+            accs.append(teacher.accuracy(xa, y))
+        assert accs[0] > accs[-1]
+        assert accs == sorted(accs, reverse=True)
+
+    def test_confidence_in_unit_interval(self, world):
+        x, y = world.sample_frontal(20)
+        teacher = TeacherModel.fit(x, y)
+        _, conf = teacher.predict(x)
+        assert ((conf > 0) & (conf <= 1)).all()
+
+    def test_accuracy_by_angle_bins(self, world):
+        x, y = world.sample_frontal(50)
+        teacher = TeacherModel.fit(x, y)
+        angles = np.zeros(len(y))
+        out = teacher.accuracy_by_angle(x, y, angles, np.array([15.0, 30.0]))
+        assert 15.0 in out
+        assert 30.0 not in out  # no samples in that bin
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            TeacherModel.fit(np.zeros((3, 2, 2)), np.zeros(3, dtype=int))

@@ -1,0 +1,138 @@
+"""Model zoo: parameter counts must match the published architectures."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.graph import flop_report
+from repro.zoo import (
+    RESNET_CONFIGS,
+    RESNET_DEPTHS,
+    build_resnet,
+    build_vgg,
+    plain_chain,
+    resnet18,
+    resnet50,
+    simple_cnn,
+    simple_mlp,
+    tiny_residual,
+    vgg11,
+    vgg16,
+)
+
+#: torchvision's exact trainable-parameter counts at 1000 classes.
+TORCHVISION_PARAMS = {
+    18: 11_689_512,
+    34: 21_797_672,
+    50: 25_557_032,
+    101: 44_549_160,
+    152: 60_192_808,
+}
+
+
+class TestResNetParams:
+    @pytest.mark.parametrize("depth", RESNET_DEPTHS)
+    def test_param_counts_match_torchvision(self, depth):
+        g = build_resnet(depth)
+        assert g.trainable_numel == TORCHVISION_PARAMS[depth]
+
+    def test_buffers_are_bn_running_stats(self):
+        g = build_resnet(18)
+        # Each BN contributes 2C buffers and 2C trainable affine params;
+        # buffers therefore equal the BN trainable parameters in count.
+        bn_trainable = sum(
+            p.numel
+            for _, p in g.iter_params()
+            if p.trainable and p.name in ("weight", "bias") and len(p.shape) == 1
+        )
+        # fc bias is also 1-D; subtract it.
+        bn_trainable -= 1000
+        assert g.buffer_numel == bn_trainable
+
+    def test_unknown_depth_rejected(self):
+        with pytest.raises(ShapeError):
+            build_resnet(77)
+
+    def test_num_classes_changes_head_only(self):
+        a = build_resnet(18, num_classes=1000)
+        b = build_resnet(18, num_classes=10)
+        assert a.trainable_numel - b.trainable_numel == (512 * 990 + 990)
+
+
+class TestResNetShapes:
+    def test_output_is_logits(self):
+        g = resnet18()
+        specs = g.infer()
+        assert specs["head.fc"].shape == (1000,)
+
+    def test_stem_halves_twice(self):
+        specs = resnet18().infer()
+        assert specs["stem.bn"].shape == (64, 112, 112)
+        assert specs["stem.pool"].shape == (64, 56, 56)
+
+    def test_stage_resolutions(self):
+        specs = resnet50().infer()
+        assert specs["layer1.2.relu3"].shape == (256, 56, 56)
+        assert specs["layer2.3.relu3"].shape == (512, 28, 28)
+        assert specs["layer3.5.relu3"].shape == (1024, 14, 14)
+        assert specs["layer4.2.relu3"].shape == (2048, 7, 7)
+
+    @pytest.mark.parametrize("image", [224, 320, 500])
+    def test_arbitrary_image_sizes(self, image):
+        g = build_resnet(18, image_size=image)
+        assert g.infer()["head.fc"].shape == (1000,)
+
+    def test_flops_scale_with_depth(self):
+        f18 = flop_report(build_resnet(18, image_size=64)).forward
+        f50 = flop_report(build_resnet(50, image_size=64)).forward
+        assert f50 > f18
+
+    def test_known_gmacs(self):
+        """ResNet-18 at 224 is ~1.82 GMACs, ResNet-50 ~4.1 GMACs."""
+        f18 = build_resnet(18).total_flops_per_sample() / 2
+        f50 = build_resnet(50).total_flops_per_sample() / 2
+        assert f18 == pytest.approx(1.82e9, rel=0.03)
+        assert f50 == pytest.approx(4.10e9, rel=0.03)
+
+    def test_activation_bytes_monotone_in_depth(self):
+        acts = [build_resnet(d, image_size=64).activation_bytes_per_sample() for d in RESNET_DEPTHS]
+        assert acts == sorted(acts)
+
+    def test_config_expansion(self):
+        assert RESNET_CONFIGS[18].expansion == 1
+        assert RESNET_CONFIGS[50].expansion == 4
+
+
+class TestVGG:
+    def test_vgg16_params_match_torchvision(self):
+        assert vgg16().trainable_numel == 138_357_544
+
+    def test_vgg11_params_match_torchvision(self):
+        assert vgg11().trainable_numel == 132_863_336
+
+    def test_vgg_bn_adds_buffers(self):
+        plain = build_vgg(11)
+        bn = build_vgg(11, batch_norm=True)
+        assert bn.buffer_numel > 0
+        assert plain.buffer_numel == 0
+
+    def test_unknown_depth(self):
+        with pytest.raises(ShapeError):
+            build_vgg(15)
+
+
+class TestSimpleModels:
+    def test_simple_cnn_shapes(self):
+        g = simple_cnn(image_size=32, num_classes=10)
+        assert g.infer()[g.tail].shape == (10,)
+
+    def test_simple_mlp_depth(self):
+        g = simple_mlp(depth=4)
+        assert g.infer()[g.tail].shape == (10,)
+
+    def test_tiny_residual_output(self):
+        g = tiny_residual()
+        assert g.infer()["fc"].shape == (4,)
+
+    def test_plain_chain_homogeneous_params(self):
+        g = plain_chain(depth=3, features=8)
+        assert g.trainable_numel == 3 * (8 * 8 + 8)

@@ -1,0 +1,64 @@
+"""MobileNetV2: torchvision-exact counts and the edge-memory story."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.memory import account
+from repro.zoo import build_resnet, mobilenet_v2
+
+
+@pytest.fixture(scope="module")
+def mnv2():
+    return mobilenet_v2()
+
+
+class TestArchitecture:
+    def test_param_count_matches_torchvision(self, mnv2):
+        assert mnv2.trainable_numel == 3_504_872
+
+    def test_output_logits(self, mnv2):
+        specs = mnv2.infer()
+        assert specs["fc"].shape == (1000,)
+
+    def test_final_feature_map(self, mnv2):
+        specs = mnv2.infer()
+        assert specs["head.relu"].shape == (1280, 7, 7)
+
+    def test_stage_strides(self, mnv2):
+        specs = mnv2.infer()
+        # stem /2, then strides at blocks 1, 3, 6, 13 -> 7x7 at the end.
+        assert specs["stem.relu"].shape[1:] == (112, 112)
+        assert specs["block1.dw.relu"].shape[1:] == (56, 56)
+
+    def test_depthwise_convs_are_grouped(self, mnv2):
+        dw = mnv2.node("block2.dw.conv").layer
+        assert dw.groups == dw.in_channels == dw.out_channels
+
+    def test_known_gmacs(self, mnv2):
+        """~0.30 GMACs at 224 (the published figure)."""
+        assert mnv2.total_flops_per_sample() / 2 == pytest.approx(0.30e9, rel=0.05)
+
+    def test_num_classes_head_only(self):
+        a = mobilenet_v2(num_classes=1000)
+        b = mobilenet_v2(num_classes=10)
+        assert a.trainable_numel - b.trainable_numel == 1280 * 990 + 990
+
+    def test_small_image_rejected(self):
+        with pytest.raises(ShapeError):
+            mobilenet_v2(image_size=16)
+
+
+class TestEdgeMemoryStory:
+    def test_fewer_params_than_resnet18(self, mnv2):
+        assert mnv2.trainable_numel < build_resnet(18).trainable_numel / 3
+
+    def test_but_more_activation_bytes(self, mnv2):
+        """The inverted-bottleneck expansions make MobileNetV2's
+        *activation* footprint larger than ResNet-18's — parameter
+        efficiency does not remove the checkpointing problem."""
+        r18 = build_resnet(18)
+        assert mnv2.activation_bytes_per_sample() > 2 * r18.activation_bytes_per_sample()
+
+    def test_training_account_dominated_by_activations(self, mnv2):
+        acct = account(mnv2)
+        assert acct.act_bytes_per_sample > acct.fixed_bytes
