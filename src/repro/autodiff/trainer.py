@@ -2,7 +2,7 @@
 
 :class:`Trainer` consolidates the loop the examples and the student
 module hand-roll: plan the checkpoint schedule once (store-all when the
-budget allows, minimal-slot Revolve otherwise), iterate epochs and
+budget allows, any registered strategy otherwise), iterate epochs and
 batches, step the optimizer, bump per-step layers (dropout), and record
 history and the live-memory high-water mark.
 """
@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..checkpointing import Schedule, revolve_schedule, slots_for_rho
+from ..checkpointing import Schedule, get_strategy, slots_for_rho
 from ..checkpointing.planner import max_slots_in_budget
 from ..errors import MemoryBudgetError
 from .blocks import DropoutLayer
@@ -30,13 +30,21 @@ __all__ = ["TrainerConfig", "EpochRecord", "Trainer"]
 class TrainerConfig:
     """Loop behaviour.
 
-    Memory policy, by priority: explicit ``schedule`` > ``rho`` target >
-    ``activation_budget_bytes`` (per batch) > store-all (no schedule).
+    Memory policy, by priority: explicit ``schedule`` > explicit
+    ``slots`` > ``rho`` target > ``activation_budget_bytes`` (per batch)
+    > store-all (no schedule).  ``strategy`` names which registered
+    checkpoint family builds the schedule once a slot budget is resolved
+    (default ``revolve``, the optimum); any name accepted by
+    :func:`repro.checkpointing.get_strategy` works.
     """
 
     epochs: int = 10
     batch_size: int = 16
     shuffle_seed: int = 0
+    #: Registered strategy family used whenever a schedule is built.
+    strategy: str | None = None
+    #: Explicit checkpoint slot budget (Revolve convention, >= 1).
+    slots: int | None = None
     rho: float | None = None
     activation_budget_bytes: int | None = None
     schedule: Schedule | None = None
@@ -57,6 +65,10 @@ class TrainerConfig:
             raise ValueError("epochs and batch_size must be >= 1")
         if self.rho is not None and self.rho < 1.0:
             raise ValueError("rho must be >= 1")
+        if self.slots is not None and self.slots < 1:
+            raise ValueError("slots must be >= 1")
+        if self.strategy is not None:
+            get_strategy(self.strategy)  # fail fast on unknown names
         if self.micro_batch_size is not None and not (
             1 <= self.micro_batch_size <= self.batch_size
         ):
@@ -88,10 +100,22 @@ class Trainer:
         cfg = self.config
         if cfg.schedule is not None:
             return cfg.schedule
+        if (
+            cfg.strategy is None
+            and cfg.slots is None
+            and cfg.rho is None
+            and cfg.activation_budget_bytes is None
+        ):
+            return None  # store-all train_step, no executor overhead
         l = len(self.net)
-        if cfg.rho is not None:
-            return revolve_schedule(l, slots_for_rho(l, cfg.rho))
-        if cfg.activation_budget_bytes is not None:
+        strat = get_strategy(cfg.strategy or "revolve")
+        if cfg.slots is not None:
+            c = min(cfg.slots, max(1, l - 1))
+        elif cfg.rho is not None:
+            # Slot budget the optimal schedule needs for the ρ target;
+            # non-revolve strategies then compete at that same budget.
+            c = slots_for_rho(l, cfg.rho)
+        elif cfg.activation_budget_bytes is not None:
             sizes = self.net.activation_bytes(sample_x)
             slot = max(sizes[1:]) if len(sizes) > 1 else sizes[0]
             # Conservative: charge every slot at the largest activation.
@@ -102,8 +126,15 @@ class Trainer:
                     f"activation budget {cfg.activation_budget_bytes} B cannot "
                     f"hold one checkpoint slot ({slot} B) plus the cursor"
                 ) from None
-            return revolve_schedule(l, min(c, max(1, l - 1)))
-        return None  # store-all train_step
+            c = min(c, max(1, l - 1))
+        else:
+            c = max(1, l - 1)  # strategy named without a size target
+        if not strat.feasible(l, c):
+            raise MemoryBudgetError(
+                f"strategy {strat.name!r} cannot reverse a {l}-step chain "
+                f"within {c} checkpoint slots"
+            )
+        return strat.schedule(l, c)
 
     def _bump_step(self) -> None:
         self._step += 1

@@ -6,7 +6,9 @@ The package exposes:
 * an action IR (:mod:`~repro.checkpointing.actions`) and
   :class:`Schedule` container;
 * strategies: Revolve (optimal binomial), uniform
-  (``checkpoint_sequential``), √l (Chen), and exact heterogeneous DPs;
+  (``checkpoint_sequential``), √l (Chen), and exact heterogeneous DPs —
+  all behind one registry (:func:`get_strategy`,
+  :func:`available_strategies`) with a memoized schedule cache;
 * a validating :func:`simulate` virtual machine measuring cost and peak
   memory of any schedule;
 * the planner mapping recompute factor ρ ↔ slots ↔ bytes (Figure 1) and
@@ -61,6 +63,18 @@ from .multilevel import (
     disk_revolve_schedule,
     disk_revolve_splits,
     simulate_tiered,
+)
+from .strategies import (
+    CacheInfo,
+    CheckpointStrategy,
+    available_strategies,
+    clear_schedule_cache,
+    get_strategy,
+    register,
+    resolve_strategy_name,
+    rho_from_extra,
+    schedule_cache_info,
+    uniform_rho,
 )
 from .planner import (
     PlanPoint,
@@ -126,6 +140,16 @@ __all__ = [
     "disk_revolve_schedule",
     "TieredStats",
     "simulate_tiered",
+    "CheckpointStrategy",
+    "register",
+    "get_strategy",
+    "available_strategies",
+    "resolve_strategy_name",
+    "rho_from_extra",
+    "uniform_rho",
+    "CacheInfo",
+    "schedule_cache_info",
+    "clear_schedule_cache",
     "regime_table",
     "ParetoPoint",
     "pareto_frontier",

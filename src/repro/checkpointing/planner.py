@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 from ..errors import MemoryBudgetError, PlanningError
 from .revolve import extra_forwards, min_slots_for_extra
-from .uniform import best_segments, uniform_extra_forwards_fused
+from .strategies import available_strategies, get_strategy, rho_from_extra
 
 __all__ = [
     "PlanPoint",
@@ -46,9 +46,7 @@ __all__ = [
 
 def rho_for_slots(l: int, c: int, bwd_ratio: float = 1.0) -> float:
     """Recompute factor achieved by the optimal schedule with ``c`` slots."""
-    if bwd_ratio < 0:
-        raise PlanningError("bwd_ratio must be >= 0")
-    return 1.0 + extra_forwards(l, c) / (l * (1.0 + bwd_ratio))
+    return rho_from_extra(l, extra_forwards(l, c), bwd_ratio)
 
 
 def slots_for_rho(l: int, rho: float, bwd_ratio: float = 1.0) -> int:
@@ -192,12 +190,14 @@ def plan_training(
             uniform_rho=1.0,
         )
     point = rho_for_budget(l, fixed_bytes, slot_bytes, budget_bytes, bwd_ratio)
-    uniform_rho: float | None = None
-    try:
-        s = best_segments(l, slot_budget=point.slots + 1)
-        uniform_rho = 1.0 + uniform_extra_forwards_fused(l, s) / (l * (1.0 + bwd_ratio))
-    except PlanningError:
-        uniform_rho = None
+    uniform = get_strategy("uniform")
+    # The uniform alternative at equal memory: c slots + the in-flight
+    # activation give it c+1 resident activations to segment into.
+    uniform_rho = (
+        uniform.rho(l, point.slots + 1, bwd_ratio)
+        if uniform.feasible(l, point.slots + 1)
+        else None
+    )
     return TrainingPlan(
         model=model,
         budget_bytes=budget_bytes,
@@ -210,30 +210,32 @@ def plan_training(
     )
 
 
-def compare_strategies(l: int, slot_budget: int, bwd_ratio: float = 1.0) -> dict[str, float]:
-    """ρ of each strategy at an equal slot budget (∞ when infeasible).
+def compare_strategies(
+    l: int,
+    slot_budget: int,
+    bwd_ratio: float = 1.0,
+    strategies: tuple[str, ...] | list[str] | None = None,
+) -> dict[str, float]:
+    """ρ of each registered strategy at an equal slot budget (∞ when
+    infeasible).
 
-    Strategies: ``revolve`` (optimal), ``uniform`` (best
-    ``checkpoint_sequential`` fitting the budget), ``sqrt`` (Chen's √l,
-    only when its footprint fits), ``store_all`` (only when l−1 slots
-    fit).  The paper's Section VI claim is revolve ≤ uniform everywhere,
-    with the gap widest at small budgets.
+    By default every strategy in the registry is priced — ``revolve``
+    (optimal), ``uniform`` (best ``checkpoint_sequential`` fitting the
+    budget), ``sqrt`` (Chen's √l, only when its footprint fits),
+    ``store_all`` (only when l−1 slots fit), plus the DP and two-tier
+    families; pass ``strategies`` to restrict the comparison.  The
+    paper's Section VI claim is revolve ≤ uniform everywhere, with the
+    gap widest at small budgets.
     """
     if slot_budget < 1:
         raise PlanningError("slot budget must be >= 1")
+    names = available_strategies() if strategies is None else tuple(strategies)
     out: dict[str, float] = {}
-    out["revolve"] = rho_for_slots(l, slot_budget, bwd_ratio)
-    try:
-        s = best_segments(l, slot_budget=slot_budget)
-        out["uniform"] = 1.0 + uniform_extra_forwards_fused(l, s) / (l * (1.0 + bwd_ratio))
-    except PlanningError:
-        out["uniform"] = math.inf
-    from .sqrt import sqrt_memory_slots, sqrt_segments  # local: avoid cycle
-
-    if sqrt_memory_slots(l) <= slot_budget:
-        s = sqrt_segments(l)
-        out["sqrt"] = 1.0 + uniform_extra_forwards_fused(l, s) / (l * (1.0 + bwd_ratio))
-    else:
-        out["sqrt"] = math.inf
-    out["store_all"] = 1.0 if slot_budget >= max(1, l - 1) else math.inf
+    for name in names:
+        strat = get_strategy(name)
+        out[name] = (
+            strat.rho(l, slot_budget, bwd_ratio)
+            if strat.feasible(l, slot_budget)
+            else math.inf
+        )
     return out

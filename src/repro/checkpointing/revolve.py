@@ -57,15 +57,30 @@ def beta(c: int, r: int) -> int:
 
 
 def repetition_number(l: int, c: int) -> int:
-    """Minimal r with l <= β(c, r)."""
+    """Minimal r with l <= β(c, r).
+
+    β(c, r) is strictly increasing in r, so the answer is found by
+    doubling r until β(c, r) >= l and binary-searching the bracket —
+    O(log r) β evaluations instead of the naive O(r) scan, which matters
+    for deep-chain sweeps at small c (r grows like l at c = 1).
+    """
     if l < 1:
         raise ScheduleError("chain length must be >= 1")
     if c < 1:
         raise ScheduleError("slot count must be >= 1")
-    r = 0
-    while beta(c, r) < l:
-        r += 1
-    return r
+    if beta(c, 0) >= l:
+        return 0
+    hi = 1
+    while beta(c, hi) < l:
+        hi *= 2
+    lo = hi // 2  # beta(c, lo) < l: either hi's predecessor bracket or 0
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if beta(c, mid) < l:
+            lo = mid
+        else:
+            hi = mid
+    return hi
 
 
 def opt_forwards(l: int, c: int) -> int:

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import json
 
-from ..errors import ScheduleError
+from ..errors import PlanningError, ScheduleError
 from .actions import Action, ActionKind
 from .schedule import Schedule
 from .simulator import simulate
+from .strategies import resolve_strategy_name
 
 __all__ = ["schedule_to_json", "schedule_from_json", "FORMAT_VERSION"]
 
@@ -38,12 +39,18 @@ def schedule_to_json(schedule: Schedule, indent: int | None = None) -> str:
     return json.dumps(payload, indent=indent)
 
 
-def schedule_from_json(text: str, verify: bool = True) -> Schedule:
+def schedule_from_json(
+    text: str, verify: bool = True, require_registered: bool = True
+) -> Schedule:
     """Parse (and optionally machine-verify) a serialized schedule.
 
     Raises :class:`~repro.errors.ScheduleError` on malformed input;
     with ``verify=True`` an :class:`~repro.errors.ExecutionError` is
-    raised if the schedule violates machine invariants.
+    raised if the schedule violates machine invariants.  With
+    ``require_registered=True`` (the default) the ``strategy`` field
+    must resolve to a registered strategy family — a node should refuse
+    a plan from a planner it cannot account for; pass ``False`` to admit
+    experimental labels.
     """
     try:
         payload = json.loads(text)
@@ -57,6 +64,14 @@ def schedule_from_json(text: str, verify: bool = True) -> Schedule:
     for key in ("strategy", "length", "slots", "actions"):
         if key not in payload:
             raise ScheduleError(f"schedule JSON missing {key!r}")
+    strategy = str(payload["strategy"])
+    if require_registered:
+        try:
+            resolve_strategy_name(strategy)
+        except PlanningError as exc:
+            raise ScheduleError(
+                f"schedule strategy {strategy!r} is not a registered family: {exc}"
+            ) from exc
     kinds = {k.value: k for k in ActionKind}
     actions = []
     raw = payload["actions"]
@@ -72,7 +87,7 @@ def schedule_from_json(text: str, verify: bool = True) -> Schedule:
             raise ScheduleError(f"action {i}: arg must be a non-negative int")
         actions.append(Action(kinds[kind], arg))
     schedule = Schedule(
-        strategy=str(payload["strategy"]),
+        strategy=strategy,
         length=int(payload["length"]),
         slots=int(payload["slots"]),
         actions=tuple(actions),

@@ -6,7 +6,8 @@ Usage (also installed as the ``repro-edge`` console script)::
     python -m repro table2 | table3
     python -m repro section5
     python -m repro figure1 [--panel a|b|c|d] [--source ours|paper] [--csv]
-    python -m repro ablation
+    python -m repro strategies [--length 24] [--budget 6]
+    python -m repro ablation [--strategy revolve --strategy sqrt ...]
     python -m repro batch-tradeoff [--model 50] [--device ODROID-XU4]
     python -m repro viewpoint [--subjects 120]
     python -m repro summary
@@ -17,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .checkpointing import available_strategies, get_strategy, schedule_cache_info
 from .edge import DEVICE_CATALOG, ODROID_XU4, TrainingWorkload
 from .experiments import (
     PANELS,
@@ -57,7 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--source", choices=("ours", "paper"), default="paper")
     sp.add_argument("--csv", action="store_true")
 
-    sub.add_parser("ablation", help="strategy ablation (revolve vs uniform vs sqrt)")
+    sp = sub.add_parser("strategies", help="list registered checkpoint strategies")
+    sp.add_argument("--length", type=int, default=24, help="chain length l")
+    sp.add_argument("--budget", type=int, default=6, help="checkpoint slot budget c")
+    sp.add_argument("--bwd-ratio", type=float, default=1.0, help="backward/forward cost ratio")
+
+    sp = sub.add_parser("ablation", help="strategy ablation across all registered strategies")
+    sp.add_argument(
+        "--strategy",
+        action="append",
+        choices=available_strategies(),
+        help="restrict to this registered strategy (repeatable; default: all)",
+    )
 
     sub.add_parser("sensitivity", help="Figure 1 convention-sensitivity sweep")
 
@@ -123,6 +136,37 @@ def _figure1(args: argparse.Namespace) -> str:
                 lines.append(f"{s.name},{rho:.4f},{b / MB:.2f}")
         return "\n".join(lines) + "\n"
     return figure1_ascii(args.panel, args.source)
+
+
+def _strategies(args: argparse.Namespace) -> str:
+    """Registry listing with a per-strategy ρ/slots table at one (l, c)."""
+    l, c, r = args.length, args.budget, args.bwd_ratio
+    names = available_strategies()
+    lines = [
+        f"Registered checkpoint strategies ({len(names)}) at "
+        f"l={l}, slot budget={c}, bwd/fwd ratio={r:g}",
+        f"{'strategy':<14}{'feasible':>9}{'rho':>9}{'extra fwd':>11}{'peak slots':>12}",
+    ]
+    for name in names:
+        strat = get_strategy(name)
+        if strat.feasible(l, c):
+            lines.append(
+                f"{name:<14}{'yes':>9}{strat.rho(l, c, r):>9.3f}"
+                f"{strat.extra_forwards(l, c):>11}{strat.peak_slots(l, c):>12}"
+            )
+        else:
+            lines.append(f"{name:<14}{'no':>9}{'inf':>9}{'-':>11}{'-':>12}")
+    info = schedule_cache_info()
+    lines.append(
+        f"schedule cache: {info.schedules} schedules, {info.stats} stats, "
+        f"{info.hits} hits / {info.misses} misses"
+    )
+    return "\n".join(lines)
+
+
+def _ablation(args: argparse.Namespace) -> str:
+    names = tuple(args.strategy) if args.strategy else None
+    return strategy_ablation_table(strategies=names).render()
 
 
 def _batch_tradeoff(args: argparse.Namespace) -> str:
@@ -373,7 +417,8 @@ def main(argv: list[str] | None = None) -> int:
         "table3": lambda a: _emit_table(a, table3),
         "section5": lambda a: section5_table().render(),
         "figure1": _figure1,
-        "ablation": lambda a: strategy_ablation_table().render(),
+        "strategies": _strategies,
+        "ablation": _ablation,
         "sensitivity": lambda a: _sensitivity(),
         "extended": lambda a: _extended(),
         "profile": _profile,

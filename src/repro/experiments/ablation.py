@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..checkpointing import compare_strategies
+from ..checkpointing import available_strategies, compare_strategies
 from ..edge import Device, TrainingWorkload, sweep_batch_sizes
 from ..studentteacher import (
     PipelineConfig,
@@ -43,10 +43,16 @@ __all__ = [
 def strategy_ablation(
     lengths: tuple[int, ...] = (18, 34, 50, 101, 152),
     slot_budgets: tuple[int, ...] = (3, 5, 8, 13, 21),
+    strategies: tuple[str, ...] | None = None,
 ) -> dict[tuple[int, int], dict[str, float]]:
-    """ρ per strategy for every (chain length, slot budget) pair."""
+    """ρ per strategy for every (chain length, slot budget) pair.
+
+    ``strategies`` defaults to every registered strategy, so newly
+    registered families join the ablation without code changes here.
+    """
+    names = available_strategies() if strategies is None else tuple(strategies)
     return {
-        (l, c): compare_strategies(l, c)
+        (l, c): compare_strategies(l, c, strategies=names)
         for l in lengths
         for c in slot_budgets
     }
@@ -55,23 +61,25 @@ def strategy_ablation(
 def strategy_ablation_table(
     lengths: tuple[int, ...] = (18, 34, 50, 101, 152),
     slot_budgets: tuple[int, ...] = (3, 5, 8, 13, 21),
+    strategies: tuple[str, ...] | None = None,
 ) -> Table:
-    """Render the ablation: revolve vs uniform vs sqrt ρ at equal memory."""
-    data = strategy_ablation(lengths, slot_budgets)
+    """Render the ablation: ρ per registered strategy at equal memory."""
+    names = available_strategies() if strategies is None else tuple(strategies)
+    data = strategy_ablation(lengths, slot_budgets, names)
+
+    def fmt(v: float) -> str:
+        return f"{v:.3f}" if v != float("inf") else "inf"
+
     cells = []
     rows = []
     for l in lengths:
         for c in slot_budgets:
             rows.append(f"l={l},c={c}")
             entry = data[(l, c)]
-
-            def fmt(v: float) -> str:
-                return f"{v:.3f}" if v != float("inf") else "inf"
-
-            cells.append([fmt(entry["revolve"]), fmt(entry["uniform"]), fmt(entry["sqrt"])])
+            cells.append([fmt(entry[name]) for name in names])
     return Table(
         title="Strategy ablation: recompute factor at equal slot budget",
-        col_labels=["revolve", "uniform", "sqrt"],
+        col_labels=list(names),
         row_labels=rows,
         cells=cells,
         row_header="chain",

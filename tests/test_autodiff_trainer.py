@@ -13,7 +13,7 @@ from repro.autodiff import (
     TrainerConfig,
     gaussian_blobs,
 )
-from repro.checkpointing import revolve_schedule
+from repro.checkpointing import resolve_strategy_name, revolve_schedule
 from repro.errors import MemoryBudgetError
 
 
@@ -82,6 +82,51 @@ class TestStrategies:
             net,
             Momentum(net.layers, lr=0.02),
             TrainerConfig(epochs=1, activation_budget_bytes=8),
+        )
+        with pytest.raises(MemoryBudgetError):
+            t.fit(data)
+
+    def test_any_registered_strategy_name(self, rng, data):
+        """The trainer builds schedules through the registry: every
+        homogeneous-chain family trains to the same losses as store-all
+        (the executor guarantees gradient equivalence)."""
+        reference = None
+        for name in ("revolve", "uniform", "sqrt", "store_all", "hetero", "budget"):
+            net = make_net(np.random.default_rng(11))
+            t = Trainer(
+                net,
+                Momentum(net.layers, lr=0.02),
+                TrainerConfig(epochs=2, strategy=name),
+            )
+            t.fit(data)
+            assert resolve_strategy_name(t.schedule_strategy) == name
+            losses = [r.mean_loss for r in t.history]
+            if reference is None:
+                reference = losses
+            else:
+                assert losses == pytest.approx(reference)
+
+    def test_strategy_with_explicit_slots(self, rng, data):
+        net = make_net(rng)
+        t = Trainer(
+            net,
+            Momentum(net.layers, lr=0.02),
+            TrainerConfig(epochs=1, strategy="uniform", slots=7),
+        )
+        t.fit(data)
+        assert t.schedule_strategy.startswith("uniform")
+        assert t._schedule.snapshot_count > 0
+
+    def test_unknown_strategy_fails_fast(self):
+        with pytest.raises(Exception, match="unknown strategy"):
+            TrainerConfig(strategy="nope")
+
+    def test_infeasible_strategy_raises_budget_error(self, rng, data):
+        net = make_net(rng)
+        t = Trainer(
+            net,
+            Momentum(net.layers, lr=0.02),
+            TrainerConfig(epochs=1, strategy="store_all", slots=1),
         )
         with pytest.raises(MemoryBudgetError):
             t.fit(data)

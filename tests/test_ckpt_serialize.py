@@ -84,6 +84,26 @@ class TestStrictParsing:
         with pytest.raises(ScheduleError):
             schedule_from_json(json.dumps(payload))
 
+    def test_unregistered_strategy_rejected(self):
+        payload = self.good()
+        payload["strategy"] = "mystery_meat"
+        with pytest.raises(ScheduleError, match="not a registered family"):
+            schedule_from_json(json.dumps(payload))
+
+    def test_parameterized_and_alias_labels_accepted(self):
+        """Labels like "uniform(s=4)" and legacy "hetero_dp" resolve via
+        the registry and survive loading."""
+        for label in ("uniform(s=4)", "hetero_dp", "budget_dp", "disk_revolve(c_m=3)"):
+            payload = self.good()
+            payload["strategy"] = label
+            assert schedule_from_json(json.dumps(payload)).strategy == label
+
+    def test_require_registered_false_admits_foreign_labels(self):
+        payload = self.good()
+        payload["strategy"] = "external_tool"
+        sch = schedule_from_json(json.dumps(payload), require_registered=False)
+        assert sch.strategy == "external_tool"
+
     def test_verify_rejects_invalid_schedule(self):
         """Structurally valid JSON carrying a broken plan is caught by
         the machine when verify=True."""

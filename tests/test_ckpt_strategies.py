@@ -1,0 +1,198 @@
+"""Strategy registry: resolution, simulator parity, the schedule cache,
+and the repetition-number search rewrite."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.checkpointing import (
+    available_strategies,
+    beta,
+    clear_schedule_cache,
+    compare_strategies,
+    extra_forwards,
+    get_strategy,
+    repetition_number,
+    resolve_strategy_name,
+    rho_for_slots,
+    rho_from_extra,
+    schedule_cache_info,
+    simulate,
+    sqrt_memory_slots,
+    uniform_extra_forwards_fused,
+    uniform_rho,
+    validate,
+)
+from repro.errors import PlanningError
+
+FAMILIES = ("revolve", "uniform", "sqrt", "store_all", "hetero", "budget", "disk_revolve")
+
+
+class TestRegistry:
+    def test_all_seven_families_registered(self):
+        assert set(available_strategies()) == set(FAMILIES)
+
+    def test_presentation_order_keeps_seed_quartet_first(self):
+        assert available_strategies()[:4] == ("revolve", "uniform", "sqrt", "store_all")
+
+    def test_get_strategy_resolves_each_name(self):
+        for name in FAMILIES:
+            assert get_strategy(name).name == name
+
+    def test_legacy_aliases(self):
+        assert get_strategy("hetero_dp").name == "hetero"
+        assert get_strategy("budget_dp").name == "budget"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(PlanningError, match="revolve"):
+            get_strategy("does_not_exist")
+
+    def test_resolve_parameterized_labels(self):
+        assert resolve_strategy_name("uniform(s=4)") == "uniform"
+        assert resolve_strategy_name("disk_revolve(c_m=3)") == "disk_revolve"
+        assert resolve_strategy_name("hetero_dp") == "hetero"
+        with pytest.raises(PlanningError):
+            resolve_strategy_name("mystery(s=2)")
+
+
+class TestSimulatorParity:
+    """Every strategy's predictions must match its executed schedule."""
+
+    def assert_parity(self, name: str, l: int, c: int) -> None:
+        strat = get_strategy(name)
+        if not strat.feasible(l, c):
+            return
+        schedule = strat.build_schedule(l, c)
+        assert validate(schedule), (name, l, c)
+        stats = simulate(schedule)
+        assert stats.extra_forward_steps() == strat.extra_forwards(l, c), (name, l, c)
+        assert stats.peak_slots == strat.peak_slots(l, c), (name, l, c)
+
+    @given(l=st.integers(1, 40), c=st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_closed_form_families(self, l, c):
+        for name in ("revolve", "uniform", "sqrt", "store_all"):
+            self.assert_parity(name, l, c)
+
+    @pytest.mark.parametrize("l", (1, 2, 3, 5, 8, 13, 21))
+    @pytest.mark.parametrize("c", (1, 2, 3, 5, 8))
+    def test_dp_and_tiered_families(self, l, c):
+        for name in ("hetero", "budget", "disk_revolve"):
+            self.assert_parity(name, l, c)
+
+    def test_hetero_budget_match_revolve_closed_form(self):
+        """On homogeneous chains the exact DPs equal Revolve's optimum."""
+        for l, c in ((5, 2), (13, 3), (21, 4), (34, 5)):
+            assert get_strategy("hetero").extra_forwards(l, c) == extra_forwards(l, c)
+            assert get_strategy("budget").extra_forwards(l, c) == extra_forwards(l, c)
+
+    def test_disk_revolve_never_recomputes_more_than_revolve(self):
+        """The second tier can only reduce pure recomputation."""
+        for l, c in ((21, 2), (34, 3), (152, 5)):
+            disk = get_strategy("disk_revolve").extra_forwards(l, c)
+            assert disk <= extra_forwards(l, c)
+
+
+class TestRhoHelpers:
+    def test_rho_from_extra_formula(self):
+        assert rho_from_extra(50, 100) == pytest.approx(1.0 + 100 / (50 * 2))
+        assert rho_from_extra(50, 100, bwd_ratio=2.0) == pytest.approx(1.0 + 100 / 150)
+
+    def test_rho_from_extra_rejects_negative_ratio(self):
+        with pytest.raises(PlanningError):
+            rho_from_extra(10, 5, bwd_ratio=-0.5)
+
+    def test_uniform_rho_is_the_deduplicated_formula(self):
+        for l, s in ((18, 3), (50, 7), (152, 12)):
+            expected = 1.0 + uniform_extra_forwards_fused(l, s) / (l * 2.0)
+            assert uniform_rho(l, s) == expected
+
+    def test_revolve_strategy_rho_equals_planner(self):
+        for l, c in ((18, 3), (50, 5), (152, 8)):
+            assert get_strategy("revolve").rho(l, c) == rho_for_slots(l, c)
+
+
+class TestCompareViaRegistry:
+    def test_default_covers_every_registered_strategy(self):
+        out = compare_strategies(34, 5)
+        assert tuple(out) == available_strategies()
+
+    def test_seed_values_bit_identical(self):
+        """The four seed families reproduce the pre-registry arithmetic."""
+        from repro.checkpointing import best_segments, sqrt_segments
+
+        for l in (18, 50, 152):
+            for c in (3, 8, 21, 34):
+                out = compare_strategies(l, c)
+                assert out["revolve"] == 1.0 + extra_forwards(l, c) / (2 * l)
+                try:
+                    s = best_segments(l, slot_budget=c)
+                    assert out["uniform"] == 1.0 + uniform_extra_forwards_fused(l, s) / (2 * l)
+                except PlanningError:
+                    assert math.isinf(out["uniform"])
+                if sqrt_memory_slots(l) <= c:
+                    s = sqrt_segments(l)
+                    assert out["sqrt"] == 1.0 + uniform_extra_forwards_fused(l, s) / (2 * l)
+                else:
+                    assert math.isinf(out["sqrt"])
+                assert out["store_all"] == (1.0 if c >= max(1, l - 1) else math.inf)
+
+    def test_restriction(self):
+        out = compare_strategies(50, 8, strategies=("revolve", "sqrt"))
+        assert tuple(out) == ("revolve", "sqrt")
+
+    def test_unknown_restriction_raises(self):
+        with pytest.raises(PlanningError):
+            compare_strategies(50, 8, strategies=("revolve", "nope"))
+
+
+class TestScheduleCache:
+    def test_hit_miss_accounting_and_identity(self):
+        clear_schedule_cache()
+        base = schedule_cache_info()
+        assert (base.hits, base.misses, base.schedules, base.stats) == (0, 0, 0, 0)
+        strat = get_strategy("revolve")
+        first = strat.schedule(34, 5)
+        after_miss = schedule_cache_info()
+        assert after_miss.misses == 1 and after_miss.schedules == 1
+        second = strat.schedule(34, 5)
+        assert second is first  # memoized object, not a rebuild
+        assert schedule_cache_info().hits == 1
+
+    def test_stats_cached_separately(self):
+        clear_schedule_cache()
+        strat = get_strategy("disk_revolve")
+        s1 = strat.measured(21, 3)
+        s2 = strat.measured(21, 3)
+        assert s2 is s1
+        info = schedule_cache_info()
+        assert info.stats == 1 and info.hits >= 1
+
+    def test_c_insensitive_families_share_entries(self):
+        clear_schedule_cache()
+        sqrt = get_strategy("sqrt")
+        assert sqrt.schedule(25, 10) is sqrt.schedule(25, 24)
+        assert schedule_cache_info().schedules == 1
+
+
+class TestRepetitionNumber:
+    def test_matches_linear_scan(self):
+        for c in (1, 2, 3, 5, 17):
+            for l in range(1, 400, 7):
+                r = 0
+                while beta(c, r) < l:
+                    r += 1
+                assert repetition_number(l, c) == r, (l, c)
+
+    def test_single_slot_closed_form_deep_chain(self):
+        """c = 1 gives r = l - 1; the old O(r) scan made this quadratic
+        work across a sweep, the doubling search is logarithmic."""
+        for l in (1, 2, 1_000, 1_000_000):
+            assert repetition_number(l, 1) == max(0, l - 1)
+
+    def test_boundary_is_minimal(self):
+        for l, c in ((4, 3), (5, 3), (152, 8), (10_000, 4)):
+            r = repetition_number(l, c)
+            assert beta(c, r) >= l
+            assert r == 0 or beta(c, r - 1) < l

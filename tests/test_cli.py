@@ -68,6 +68,37 @@ class TestOtherArtifacts:
         out = run(capsys, "ablation")
         assert "revolve" in out
 
+    def test_ablation_covers_all_registered_strategies(self, capsys):
+        from repro.checkpointing import available_strategies
+
+        out = run(capsys, "ablation")
+        for name in available_strategies():
+            assert name in out
+
+    def test_ablation_strategy_restriction(self, capsys):
+        out = run(capsys, "ablation", "--strategy", "revolve", "--strategy", "sqrt")
+        header = out.splitlines()[1]
+        assert "revolve" in header and "sqrt" in header
+        assert "uniform" not in out and "disk_revolve" not in out
+
+    def test_ablation_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["ablation", "--strategy", "nope"])
+
+    def test_strategies_listing(self, capsys):
+        from repro.checkpointing import available_strategies
+
+        out = run(capsys, "strategies", "--length", "24", "--budget", "6")
+        for name in available_strategies():
+            assert name in out
+        assert "schedule cache:" in out
+        assert "feasible" in out
+
+    def test_strategies_infeasible_marked(self, capsys):
+        out = run(capsys, "strategies", "--length", "50", "--budget", "2")
+        line = next(l for l in out.splitlines() if l.startswith("store_all"))
+        assert "no" in line and "inf" in line
+
     def test_batch_tradeoff(self, capsys):
         out = run(capsys, "batch-tradeoff", "--model", "18", "--images", "1000")
         assert "ResNet18" in out
