@@ -1,0 +1,80 @@
+"""Trace a checkpointed training run and export it for Perfetto.
+
+The :mod:`repro.obs` layer records hierarchical spans — ``fit`` →
+``epoch`` → ``batch`` → per-action ``ADVANCE``/``SNAPSHOT``/``ADJOINT``
+spans from the schedule executor — plus counters and gauges (losses,
+peak bytes, schedule-cache hits).  This example trains a small dense net
+under a Revolve schedule with tracing on, prints the plain-text summary,
+and writes both export formats:
+
+* ``trace.json``  — Chrome ``trace_event`` JSON; open it at
+  https://ui.perfetto.dev or ``chrome://tracing``.
+* ``trace.jsonl`` — one JSON object per span/event, easy to grep.
+
+Run: ``python examples/trace_training.py [--outdir DIR]``
+"""
+
+import argparse
+import pathlib
+
+import numpy as np
+
+from repro import obs
+from repro.autodiff import (
+    DenseLayer,
+    Momentum,
+    ReLULayer,
+    SequentialNet,
+    Trainer,
+    TrainerConfig,
+    gaussian_blobs,
+)
+
+
+def build_net(rng: np.random.Generator, depth: int = 8) -> SequentialNet:
+    layers = []
+    prev = 6
+    for i in range(depth - 1):
+        layers.append(DenseLayer(prev, 12, rng, name=f"fc{i}"))
+        layers.append(ReLULayer(name=f"r{i}"))
+        prev = 12
+    layers.append(DenseLayer(prev, 3, rng, name="head"))
+    return SequentialNet(layers)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--outdir", default=".", help="where to write trace.json / trace.jsonl")
+    args = ap.parse_args()
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    rng = np.random.default_rng(0)
+    net = build_net(rng)
+    data = gaussian_blobs(n_per_class=48, num_classes=3, dim=6, rng=rng)
+
+    with obs.tracing() as tracer:
+        trainer = Trainer(
+            net,
+            Momentum(net.layers, lr=0.02),
+            TrainerConfig(epochs=3, batch_size=16, strategy="revolve", slots=4),
+        )
+        trainer.fit(data)
+        accuracy = trainer.evaluate(data)
+
+    metrics = obs.get_metrics()
+    chrome_path = outdir / "trace.json"
+    jsonl_path = outdir / "trace.jsonl"
+    obs.write_chrome_trace(chrome_path, tracer, metrics)
+    obs.write_jsonl(jsonl_path, tracer, metrics)
+
+    print(obs.summary(tracer, metrics))
+    print()
+    print(f"final accuracy: {accuracy:.3f}")
+    print(f"categories: {', '.join(sorted(tracer.categories()))}")
+    print(f"wrote {chrome_path} (open in https://ui.perfetto.dev)")
+    print(f"wrote {jsonl_path}")
+
+
+if __name__ == "__main__":
+    main()

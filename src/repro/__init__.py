@@ -26,6 +26,7 @@ Subpackages
 ``edge``           device catalog, storage, epoch-time & duty-cycle sim
 ``studentteacher`` viewpoint world, teacher, tracker, harvesting, student
 ``experiments``    regenerators for every table and figure in the paper
+``obs``            unified tracing/metrics layer with Chrome-trace export
 """
 
 from . import (
@@ -36,6 +37,7 @@ from . import (
     experiments,
     graph,
     memory,
+    obs,
     studentteacher,
     units,
     zoo,
@@ -52,6 +54,7 @@ __all__ = [
     "edge",
     "studentteacher",
     "experiments",
+    "obs",
     "units",
     "errors",
     "__version__",

@@ -16,6 +16,13 @@ performed in the same order per layer — while the measured live-byte peak
 tracks the slot budget.  This is the end-to-end proof that the paper's
 optimal checkpointing actually trains networks on a memory-constrained
 device.
+
+Every execution runs under the process tracer (:mod:`repro.obs`): one
+``exec``-category span for the call, one ``action``-category span per
+schedule action (ADVANCE/SNAPSHOT/RESTORE/FREE/ADJOINT) with the
+:class:`~.meter.MemoryMeter` peaks attached as tags on the run span.
+With the default :class:`~repro.obs.NullTracer` the per-action cost is
+a single null check (``benchmarks/bench_obs_overhead.py`` pins ≤ 5%).
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import numpy as np
 from ..errors import ExecutionError
 from ..checkpointing.actions import ActionKind
 from ..checkpointing.schedule import Schedule
+from ..obs import get_metrics, get_tracer
 from .loss import softmax_cross_entropy
 from .meter import MemoryMeter
 from .network import GradMap, SequentialNet
@@ -68,6 +76,8 @@ def run_schedule(
         raise ExecutionError(
             f"schedule length {schedule.length} != network depth {l}"
         )
+    tracer = get_tracer()
+    traced = tracer.enabled  # hot loop pays only this null check when off
     meter = MemoryMeter()
     slots: dict[int, tuple[int, np.ndarray]] = {}  # slot -> (index, array)
     cursor_idx = 0
@@ -80,73 +90,101 @@ def run_schedule(
     forward_steps = 0
     replay_steps = 0
     peak_slot_bytes = 0
+    t0 = 0.0
 
     def _slot_bytes() -> int:
         return sum(int(a.nbytes) for _, a in slots.values())
 
-    for pos, action in enumerate(schedule.actions):
-        kind = action.kind
-        if kind is ActionKind.ADVANCE:
-            to = action.arg
-            if not cursor_idx < to <= l:
-                raise ExecutionError(f"action {pos}: ADVANCE {cursor_idx}->{to} invalid")
-            for i in range(cursor_idx, to):
-                cursor = net.layers[i].forward(cursor)
+    with tracer.span(
+        "run_schedule",
+        category="exec",
+        strategy=schedule.strategy,
+        length=l,
+        slots=schedule.slots,
+    ) as run_span:
+        for pos, action in enumerate(schedule.actions):
+            kind = action.kind
+            if traced:
+                t0 = tracer.now()
+            if kind is ActionKind.ADVANCE:
+                to = action.arg
+                if not cursor_idx < to <= l:
+                    raise ExecutionError(f"action {pos}: ADVANCE {cursor_idx}->{to} invalid")
+                for i in range(cursor_idx, to):
+                    cursor = net.layers[i].forward(cursor)
+                    meter.hold("cursor", cursor)
+                    forward_steps += 1
+                cursor_idx = to
+            elif kind is ActionKind.SNAPSHOT:
+                if action.arg >= schedule.slots:
+                    raise ExecutionError(
+                        f"action {pos}: slot {action.arg} exceeds budget {schedule.slots}"
+                    )
+                slots[action.arg] = (cursor_idx, cursor)
+                meter.hold(f"slot{action.arg}", cursor)
+                peak_slot_bytes = max(peak_slot_bytes, _slot_bytes())
+            elif kind is ActionKind.RESTORE:
+                if action.arg not in slots:
+                    raise ExecutionError(f"action {pos}: RESTORE from empty slot {action.arg}")
+                cursor_idx, cursor = slots[action.arg]
                 meter.hold("cursor", cursor)
-                forward_steps += 1
-            cursor_idx = to
-        elif kind is ActionKind.SNAPSHOT:
-            if action.arg >= schedule.slots:
-                raise ExecutionError(
-                    f"action {pos}: slot {action.arg} exceeds budget {schedule.slots}"
-                )
-            slots[action.arg] = (cursor_idx, cursor)
-            meter.hold(f"slot{action.arg}", cursor)
-            peak_slot_bytes = max(peak_slot_bytes, _slot_bytes())
-        elif kind is ActionKind.RESTORE:
-            if action.arg not in slots:
-                raise ExecutionError(f"action {pos}: RESTORE from empty slot {action.arg}")
-            cursor_idx, cursor = slots[action.arg]
-            meter.hold("cursor", cursor)
-        elif kind is ActionKind.FREE:
-            if action.arg not in slots:
-                raise ExecutionError(f"action {pos}: FREE of empty slot {action.arg}")
-            del slots[action.arg]
-            meter.release(f"slot{action.arg}")
-        elif kind is ActionKind.ADJOINT:
-            step = action.arg
-            if step != pending:
-                raise ExecutionError(
-                    f"action {pos}: ADJOINT({step}) out of order (pending {pending})"
-                )
-            if cursor_idx != step - 1:
-                raise ExecutionError(
-                    f"action {pos}: ADJOINT({step}) needs cursor at {step - 1}, "
-                    f"have {cursor_idx}"
-                )
-            layer = net.layers[step - 1]
-            if step == l:
-                # Head step: replay forward to get predictions, seed dy.
-                y = layer.forward(cursor)
-                meter.hold("head", y)
-                loss_value, dy = loss_fn(y, labels)
-                meter.release("head")
+            elif kind is ActionKind.FREE:
+                if action.arg not in slots:
+                    raise ExecutionError(f"action {pos}: FREE of empty slot {action.arg}")
+                del slots[action.arg]
+                meter.release(f"slot{action.arg}")
+            elif kind is ActionKind.ADJOINT:
+                step = action.arg
+                if step != pending:
+                    raise ExecutionError(
+                        f"action {pos}: ADJOINT({step}) out of order (pending {pending})"
+                    )
+                if cursor_idx != step - 1:
+                    raise ExecutionError(
+                        f"action {pos}: ADJOINT({step}) needs cursor at {step - 1}, "
+                        f"have {cursor_idx}"
+                    )
+                layer = net.layers[step - 1]
+                if step == l:
+                    # Head step: replay forward to get predictions, seed dy.
+                    y = layer.forward(cursor)
+                    meter.hold("head", y)
+                    loss_value, dy = loss_fn(y, labels)
+                    meter.release("head")
+                    meter.hold("grad", dy)
+                if dy is None:  # pragma: no cover - guarded by ordering check
+                    raise ExecutionError("gradient flow unseeded")
+                replay_steps += 1
+                dx, layer_grads = layer.backward(cursor, dy)
+                dy = dx
                 meter.hold("grad", dy)
-            if dy is None:  # pragma: no cover - guarded by ordering check
-                raise ExecutionError("gradient flow unseeded")
-            replay_steps += 1
-            dx, layer_grads = layer.backward(cursor, dy)
-            dy = dx
-            meter.hold("grad", dy)
-            for pname, g in layer_grads.items():
-                grads[(layer.name, pname)] = g
-            pending -= 1
-        else:  # pragma: no cover - exhaustive
-            raise ExecutionError(f"unknown action kind {kind}")
+                for pname, g in layer_grads.items():
+                    grads[(layer.name, pname)] = g
+                pending -= 1
+            else:  # pragma: no cover - exhaustive
+                raise ExecutionError(f"unknown action kind {kind}")
+            if traced:
+                tracer.record(
+                    kind.name,
+                    "action",
+                    t0,
+                    arg=action.arg,
+                    pos=pos,
+                    live_bytes=meter.current_bytes,
+                )
 
-    if pending != 0:
-        raise ExecutionError(f"schedule left backward steps {pending}..1 undone")
-    assert loss_value is not None
+        if pending != 0:
+            raise ExecutionError(f"schedule left backward steps {pending}..1 undone")
+        assert loss_value is not None
+        run_span.set_tag("peak_bytes", meter.peak_bytes)
+        run_span.set_tag("peak_slot_bytes", peak_slot_bytes)
+        run_span.set_tag("forward_steps", forward_steps)
+        run_span.set_tag("replay_steps", replay_steps)
+        m = get_metrics()
+        m.gauge("executor.peak_bytes").max(meter.peak_bytes)
+        m.gauge("executor.peak_slot_bytes").max(peak_slot_bytes)
+        m.counter("executor.replays").inc(replay_steps)
+        m.counter("executor.forward_steps").inc(forward_steps)
     return CheckpointedResult(
         loss=loss_value,
         grads=grads,

@@ -16,6 +16,7 @@ import numpy as np
 from ..checkpointing import Schedule, get_strategy, slots_for_rho
 from ..checkpointing.planner import max_slots_in_budget
 from ..errors import MemoryBudgetError
+from ..obs import get_metrics, get_tracer
 from .blocks import DropoutLayer
 from .data import Dataset, batches
 from .executor import run_schedule
@@ -174,27 +175,55 @@ class Trainer:
         return total_loss, acc, peak
 
     def fit(self, data: Dataset) -> list[EpochRecord]:
-        """Train; returns (and appends to) the epoch history."""
+        """Train; returns (and appends to) the epoch history.
+
+        Runs under the process tracer: one ``train``-category span for
+        the fit, nested ``epoch``/``batch`` spans, and the shared
+        metrics gauges ``trainer.loss`` / ``trainer.peak_bytes`` plus
+        counters ``trainer.epochs`` / ``trainer.batches``.
+        """
         rng = np.random.default_rng(self.config.shuffle_seed)
         sample = min(self.config.micro_batch_size or self.config.batch_size, self.config.batch_size)
         schedule = self._resolve_schedule(data.x[:sample])
         self._schedule = schedule
-        for epoch in range(self.config.epochs):
-            total, nb, peak = 0.0, 0, 0
-            for xb, yb in batches(data, self.config.batch_size, rng):
-                self._bump_step()
-                loss, grads, step_peak = self._compute(xb, yb, schedule)
-                self.optimizer.step(grads)
-                total += loss
-                nb += 1
-                peak = max(peak, step_peak)
-            record = EpochRecord(epoch=epoch, mean_loss=total / max(1, nb), peak_bytes=peak)
-            self.history.append(record)
-            if (
-                self.config.early_stop_loss is not None
-                and record.mean_loss <= self.config.early_stop_loss
-            ):
-                break
+        tracer = get_tracer()
+        metrics = get_metrics()
+        with tracer.span(
+            "fit",
+            category="train",
+            strategy=self.schedule_strategy,
+            epochs=self.config.epochs,
+            batch_size=self.config.batch_size,
+        ):
+            for epoch in range(self.config.epochs):
+                total, nb, peak = 0.0, 0, 0
+                with tracer.span("epoch", category="epoch", epoch=epoch) as ep_span:
+                    for xb, yb in batches(data, self.config.batch_size, rng):
+                        self._bump_step()
+                        with tracer.span(
+                            "batch", category="batch", step=self._step, size=len(xb)
+                        ) as b_span:
+                            loss, grads, step_peak = self._compute(xb, yb, schedule)
+                            self.optimizer.step(grads)
+                            b_span.set_tag("loss", loss)
+                        metrics.counter("trainer.batches").inc()
+                        total += loss
+                        nb += 1
+                        peak = max(peak, step_peak)
+                    record = EpochRecord(
+                        epoch=epoch, mean_loss=total / max(1, nb), peak_bytes=peak
+                    )
+                    ep_span.set_tag("mean_loss", record.mean_loss)
+                    ep_span.set_tag("peak_bytes", record.peak_bytes)
+                metrics.counter("trainer.epochs").inc()
+                metrics.gauge("trainer.loss").set(record.mean_loss)
+                metrics.gauge("trainer.peak_bytes").max(record.peak_bytes)
+                self.history.append(record)
+                if (
+                    self.config.early_stop_loss is not None
+                    and record.mean_loss <= self.config.early_stop_loss
+                ):
+                    break
         return self.history
 
     # -- reporting ------------------------------------------------------
@@ -210,5 +239,8 @@ class Trainer:
         return max((r.peak_bytes for r in self.history), default=0)
 
     def evaluate(self, data: Dataset) -> float:
-        """Top-1 accuracy on a dataset."""
-        return accuracy(self.net.forward(data.x), data.y)
+        """Top-1 accuracy on a dataset (recorded on ``trainer.accuracy``)."""
+        with get_tracer().span("evaluate", category="train", samples=len(data.x)):
+            acc = accuracy(self.net.forward(data.x), data.y)
+        get_metrics().gauge("trainer.accuracy").set(acc)
+        return acc

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ExecutionError
+from ..obs import get_tracer
 from .actions import ActionKind
 from .chainspec import ChainSpec
 from .schedule import Schedule
@@ -117,6 +118,8 @@ def simulate(schedule: Schedule, spec: ChainSpec | None = None) -> ExecutionStat
         raise ExecutionError(
             f"schedule length {schedule.length} != chain length {spec.length}"
         )
+    tracer = get_tracer()
+    traced = tracer.enabled
     m = _Machine(spec=spec, slot_budget=schedule.slots)
     l = spec.length
 
@@ -193,6 +196,18 @@ def simulate(schedule: Schedule, spec: ChainSpec | None = None) -> ExecutionStat
         else:  # pragma: no cover - exhaustive enum
             raise ExecutionError(f"action {pos}: unknown kind {kind}")
         _charge()
+        if traced:
+            # Mirror the running ExecutionStats state per schedule step.
+            tracer.event(
+                kind.name,
+                category="sim",
+                pos=pos,
+                arg=act.arg,
+                cursor=m.cursor,
+                occupied_slots=len(m.slots),
+                forward_steps=forward_steps,
+                replay_steps=replay_steps,
+            )
 
     if m.pending != 0:
         raise ExecutionError(
@@ -202,7 +217,7 @@ def simulate(schedule: Schedule, spec: ChainSpec | None = None) -> ExecutionStat
         missing = [i + 1 for i, e in enumerate(executions) if e < 1]
         raise ExecutionError(f"steps never executed forward: {missing}")
 
-    return ExecutionStats(
+    stats = ExecutionStats(
         strategy=schedule.strategy,
         length=l,
         forward_steps=forward_steps,
@@ -217,6 +232,20 @@ def simulate(schedule: Schedule, spec: ChainSpec | None = None) -> ExecutionStat
         snapshots_taken=snapshots_taken,
         restores=restores,
     )
+    if traced:
+        tracer.event(
+            "simulated",
+            category="sim",
+            strategy=stats.strategy,
+            length=stats.length,
+            forward_steps=stats.forward_steps,
+            replay_steps=stats.replay_steps,
+            peak_slots=stats.peak_slots,
+            peak_bytes=stats.peak_bytes,
+            snapshots=stats.snapshots_taken,
+            restores=stats.restores,
+        )
+    return stats
 
 
 def validate(schedule: Schedule, spec: ChainSpec | None = None) -> bool:

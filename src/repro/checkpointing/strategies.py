@@ -13,10 +13,12 @@ locally.  This module makes a strategy a first-class object:
   :func:`available_strategies`) holding the seven built-in families:
   ``revolve``, ``uniform``, ``sqrt``, ``store_all``, ``hetero``,
   ``budget`` and ``disk_revolve``;
-* a memoized schedule/stats cache keyed by ``(strategy, l, c)`` with
-  hit/miss counters (:func:`schedule_cache_info`), so experiment sweeps
-  that revisit the same (l, c) points stop rebuilding identical
-  schedules and re-running the virtual machine.
+* a memoized schedule/stats cache keyed by ``(strategy, l, c)`` whose
+  hit/miss counts live on the shared :mod:`repro.obs` metrics registry
+  (:func:`schedule_cache_info` stays as the reading facade), so
+  experiment sweeps that revisit the same (l, c) points stop rebuilding
+  identical schedules and re-running the virtual machine — and the
+  counts show up in any exported trace.
 
 Conventions shared by every adapter (all homogeneous-chain semantics):
 
@@ -46,6 +48,7 @@ import threading
 from dataclasses import dataclass
 
 from ..errors import PlanningError
+from ..obs import get_metrics, get_tracer
 from .chainspec import ChainSpec
 from .dynprog import budget_schedule, hetero_schedule
 from .multilevel import disk_revolve_schedule
@@ -112,6 +115,13 @@ class CacheInfo:
     stats: int
 
 
+#: Shared metric names for the cache's hit/miss counters — the bespoke
+#: integers the cache used to keep now live in the obs registry, where
+#: exported traces and summaries pick them up alongside everything else.
+CACHE_HITS = "ckpt.schedule_cache.hits"
+CACHE_MISSES = "ckpt.schedule_cache.misses"
+
+
 class _ScheduleCache:
     """Process-wide memo of built schedules and their simulator stats.
 
@@ -119,23 +129,25 @@ class _ScheduleCache:
     ``c`` normalize it away in :meth:`CheckpointStrategy.cache_key`).
     Lookups are lock-protected; builds run outside the lock — builders
     are pure, so a racing double-build resolves via ``setdefault``.
+    Hit/miss counts route to the :mod:`repro.obs` metrics registry
+    (:data:`CACHE_HITS` / :data:`CACHE_MISSES`), plus a
+    ``cache``-category trace event per lookup when tracing is enabled.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._schedules: dict[tuple, Schedule] = {}
         self._stats: dict[tuple, ExecutionStats] = {}
-        self._hits = 0
-        self._misses = 0
 
     def _get(self, table: dict, key: tuple):
         with self._lock:
             value = table.get(key)
-            if value is not None:
-                self._hits += 1
-            else:
-                self._misses += 1
-            return value
+        hit = value is not None
+        get_metrics().counter(CACHE_HITS if hit else CACHE_MISSES).inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("hit" if hit else "miss", category="cache", key=str(key))
+        return value
 
     def schedule(self, key: tuple, build) -> Schedule:
         found = self._get(self._schedules, key)
@@ -154,10 +166,11 @@ class _ScheduleCache:
             return self._stats.setdefault(key, built)
 
     def info(self) -> CacheInfo:
+        m = get_metrics()
         with self._lock:
             return CacheInfo(
-                hits=self._hits,
-                misses=self._misses,
+                hits=m.counter(CACHE_HITS).value,
+                misses=m.counter(CACHE_MISSES).value,
                 schedules=len(self._schedules),
                 stats=len(self._stats),
             )
@@ -166,8 +179,9 @@ class _ScheduleCache:
         with self._lock:
             self._schedules.clear()
             self._stats.clear()
-            self._hits = 0
-            self._misses = 0
+        m = get_metrics()
+        m.counter(CACHE_HITS).reset()
+        m.counter(CACHE_MISSES).reset()
 
 
 _CACHE = _ScheduleCache()

@@ -11,6 +11,12 @@ Usage (also installed as the ``repro-edge`` console script)::
     python -m repro batch-tradeoff [--model 50] [--device ODROID-XU4]
     python -m repro viewpoint [--subjects 120]
     python -m repro summary
+    python -m repro trace figure1 --out trace.json   # any command, traced
+    python -m repro ablation --trace ablation.json   # per-command flag
+
+``trace`` wraps any other subcommand in the :mod:`repro.obs` tracer and
+writes the exported trace (Chrome ``trace_event`` JSON by default —
+open it in chrome://tracing or https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import obs
 from .checkpointing import available_strategies, get_strategy, schedule_cache_info
 from .edge import DEVICE_CATALOG, ODROID_XU4, TrainingWorkload
 from .experiments import (
@@ -71,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_strategies(),
         help="restrict to this registered strategy (repeatable; default: all)",
     )
+    sp.add_argument("--trace", metavar="FILE", help="write a Chrome-trace of the run to FILE")
 
     sub.add_parser("sensitivity", help="Figure 1 convention-sensitivity sweep")
 
@@ -112,6 +120,17 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--subjects", type=int, default=120)
     sp.add_argument("--epochs", type=int, default=30)
     sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--trace", metavar="FILE", help="write a Chrome-trace of the run to FILE")
+
+    sp = sub.add_parser(
+        "trace",
+        help="run any other subcommand under the obs tracer and export the trace",
+    )
+    sp.add_argument(
+        "args",
+        nargs=argparse.REMAINDER,
+        help="wrapped command and its arguments, plus --out/--format/--no-probe",
+    )
 
     sub.add_parser("summary", help="one-screen overview of all artifacts")
 
@@ -398,6 +417,89 @@ def _all(args: argparse.Namespace) -> str:
     return "\n".join(f"wrote {p}" for p in written)
 
 
+def _trace_probe() -> None:
+    """A miniature traced training run anchoring every core span category.
+
+    Most artifact commands are analytic (no Trainer, no executor), so a
+    bare trace of them would miss the epoch/batch/action spans that make
+    traces comparable across experiments.  The probe trains a 6-layer
+    net for two epochs under a Revolve schedule, seeding the trace with
+    measured ``epoch``/``batch``/``action``/``cache`` spans.
+    """
+    import numpy as np
+
+    from .autodiff import (
+        DenseLayer,
+        Momentum,
+        ReLULayer,
+        SequentialNet,
+        Trainer,
+        TrainerConfig,
+        gaussian_blobs,
+    )
+
+    rng = np.random.default_rng(0)
+    layers = []
+    prev = 6
+    for i in range(5):
+        layers.append(DenseLayer(prev, 8, rng, name=f"fc{i}"))
+        layers.append(ReLULayer(name=f"r{i}"))
+        prev = 8
+    layers.append(DenseLayer(prev, 3, rng, name="head"))
+    net = SequentialNet(layers)
+    data = gaussian_blobs(32, 3, 6, rng)
+    trainer = Trainer(
+        net,
+        Momentum(net.layers, lr=0.02),
+        TrainerConfig(epochs=2, batch_size=16, strategy="revolve", slots=3),
+    )
+    trainer.fit(data)
+    trainer.evaluate(data)
+
+
+def _trace(raw: list[str]) -> str:
+    """``trace`` subcommand: run any other command under a live tracer."""
+    tp = argparse.ArgumentParser(prog="repro-edge trace")
+    tp.add_argument("--out", default="trace.json", help="export file path")
+    tp.add_argument(
+        "--format",
+        choices=("chrome", "jsonl", "summary"),
+        default="chrome",
+        help="export format (chrome = trace_event JSON for Perfetto)",
+    )
+    tp.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip the miniature traced training run prepended to the trace",
+    )
+    tp.add_argument("wrapped", help="subcommand to run traced")
+    args, rest = tp.parse_known_args(raw)
+    if args.wrapped == "trace":
+        tp.error("cannot trace the trace command itself")
+    wrapped_args = build_parser().parse_args([args.wrapped] + rest)
+    with obs.tracing() as tracer:
+        if not args.no_probe:
+            with tracer.span("probe", category="train"):
+                _trace_probe()
+        out = _HANDLERS[wrapped_args.command](wrapped_args)
+    metrics = obs.get_metrics()
+    if args.format == "chrome":
+        obs.write_chrome_trace(args.out, tracer, metrics)
+    elif args.format == "jsonl":
+        obs.write_jsonl(args.out, tracer, metrics)
+    else:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(obs.summary(tracer, metrics) + "\n")
+    n_spans = len(tracer.spans())
+    cats = ",".join(sorted(tracer.categories()))
+    footer = (
+        f"trace: {n_spans} spans, {len(tracer.events())} events "
+        f"(categories: {cats})\ntrace written to {args.out} ({args.format})"
+    )
+    return out.rstrip("\n") + "\n" + footer
+
+
 def _summary(_args: argparse.Namespace) -> str:
     parts = [
         table1("ours").as_table().render(),
@@ -408,31 +510,42 @@ def _summary(_args: argparse.Namespace) -> str:
     return "\n".join(parts)
 
 
+_HANDLERS = {
+    "table1": lambda a: _emit_table(a, table1),
+    "table2": lambda a: _emit_table(a, table2),
+    "table3": lambda a: _emit_table(a, table3),
+    "section5": lambda a: section5_table().render(),
+    "figure1": _figure1,
+    "strategies": _strategies,
+    "ablation": _ablation,
+    "sensitivity": lambda a: _sensitivity(),
+    "extended": lambda a: _extended(),
+    "profile": _profile,
+    "pareto": _pareto,
+    "disk-revolve": _disk_revolve,
+    "campaign": _campaign,
+    "fleet": _fleet,
+    "energy": _energy,
+    "batch-tradeoff": _batch_tradeoff,
+    "viewpoint": _viewpoint,
+    "summary": _summary,
+    "all": _all,
+    "trace": lambda a: _trace(a.args),
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    handlers = {
-        "table1": lambda a: _emit_table(a, table1),
-        "table2": lambda a: _emit_table(a, table2),
-        "table3": lambda a: _emit_table(a, table3),
-        "section5": lambda a: section5_table().render(),
-        "figure1": _figure1,
-        "strategies": _strategies,
-        "ablation": _ablation,
-        "sensitivity": lambda a: _sensitivity(),
-        "extended": lambda a: _extended(),
-        "profile": _profile,
-        "pareto": _pareto,
-        "disk-revolve": _disk_revolve,
-        "campaign": _campaign,
-        "fleet": _fleet,
-        "energy": _energy,
-        "batch-tradeoff": _batch_tradeoff,
-        "viewpoint": _viewpoint,
-        "summary": _summary,
-        "all": _all,
-    }
-    out = handlers[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        # --trace FILE on a subcommand: same machinery, chrome format.
+        with obs.tracing() as tracer:
+            out = _HANDLERS[args.command](args)
+        obs.write_chrome_trace(trace_path, tracer, obs.get_metrics())
+        out = out.rstrip("\n") + f"\ntrace written to {trace_path}"
+    else:
+        out = _HANDLERS[args.command](args)
     sys.stdout.write(out if out.endswith("\n") else out + "\n")
     return 0
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import PlanningError
+from ..obs import get_metrics, get_tracer
 from .campaign import LearningCurve
 
 __all__ = ["FleetConfig", "FleetDay", "FleetResult", "simulate_fleet"]
@@ -100,33 +101,56 @@ def simulate_fleet(cfg: FleetConfig) -> FleetResult:
     cost per round = 2 × model_bytes × n_nodes (upload + download).
     """
     rng = np.random.default_rng(cfg.seed)
+    tracer = get_tracer()
     # Per-node mean traffic: Gamma-heterogeneous around the fleet mean.
     scale = cfg.crossings_per_day_mean / cfg.traffic_shape
     node_rates = rng.gamma(cfg.traffic_shape, scale, size=cfg.n_nodes)
     own = np.zeros(cfg.n_nodes)
     borrowed = np.zeros(cfg.n_nodes)
     radio = 0
+    rounds = 0
     days: list[FleetDay] = []
-    for day in range(1, cfg.days + 1):
-        crossings = rng.poisson(node_rates)
-        own += crossings * cfg.images_per_crossing
-        if cfg.federation_period and day % cfg.federation_period == 0:
-            total = own.sum()
-            for i in range(cfg.n_nodes):
-                others_mean = (total - own[i]) / max(1, cfg.n_nodes - 1)
-                borrowed[i] = cfg.transfer_value * others_mean
-            radio += 2 * cfg.model_bytes * cfg.n_nodes
-        effective = own + borrowed
-        accs = np.array([cfg.curve.accuracy(int(e)) for e in effective])
-        days.append(
-            FleetDay(
-                day=day,
-                mean_accuracy=float(accs.mean()),
-                min_accuracy=float(accs.min()),
-                radio_bytes_total=radio,
+    with tracer.span(
+        "fleet",
+        category="campaign",
+        n_nodes=cfg.n_nodes,
+        days=cfg.days,
+        federation_period=cfg.federation_period,
+    ) as span:
+        for day in range(1, cfg.days + 1):
+            crossings = rng.poisson(node_rates)
+            own += crossings * cfg.images_per_crossing
+            if cfg.federation_period and day % cfg.federation_period == 0:
+                total = own.sum()
+                for i in range(cfg.n_nodes):
+                    others_mean = (total - own[i]) / max(1, cfg.n_nodes - 1)
+                    borrowed[i] = cfg.transfer_value * others_mean
+                radio += 2 * cfg.model_bytes * cfg.n_nodes
+                rounds += 1
+                if tracer.enabled:
+                    tracer.event(
+                        "federation_round",
+                        category="campaign",
+                        day=day,
+                        radio_bytes_total=radio,
+                    )
+            effective = own + borrowed
+            accs = np.array([cfg.curve.accuracy(int(e)) for e in effective])
+            days.append(
+                FleetDay(
+                    day=day,
+                    mean_accuracy=float(accs.mean()),
+                    min_accuracy=float(accs.min()),
+                    radio_bytes_total=radio,
+                )
             )
-        )
-    final = np.array([cfg.curve.accuracy(int(e)) for e in own + borrowed])
+        final = np.array([cfg.curve.accuracy(int(e)) for e in own + borrowed])
+        span.set_tag("radio_bytes_total", radio)
+        span.set_tag("mean_final_accuracy", float(final.mean()))
+    m = get_metrics()
+    m.counter("fleet.federation_rounds").inc(rounds)
+    m.gauge("fleet.radio_bytes_total").set(radio)
+    m.gauge("fleet.mean_final_accuracy").set(float(final.mean()))
     return FleetResult(
         days=tuple(days),
         final_accuracies=tuple(float(a) for a in final),

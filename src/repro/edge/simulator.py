@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import MemoryBudgetError
 from ..checkpointing.planner import TrainingPlan, plan_training
+from ..obs import get_metrics, get_tracer
 from .device import Device
 from .workload import TrainingWorkload
 
@@ -68,6 +69,9 @@ class EpochEstimate:
 
     @property
     def rho(self) -> float:
+        """Recompute factor of the plan (≥ 1; never a silent 0/0)."""
+        if self.plan.rho < 1.0:
+            raise ValueError(f"plan carries invalid rho {self.plan.rho}")
         return self.plan.rho
 
     @property
@@ -76,6 +80,11 @@ class EpochEstimate:
 
     @property
     def samples_per_second(self) -> float:
+        """Throughput; ``inf`` for a (degenerate) zero-time step."""
+        if self.step_seconds < 0:
+            raise ValueError("step_seconds must be >= 0")
+        if self.step_seconds == 0:
+            return float("inf")
         return self.batch_size / self.step_seconds
 
 
@@ -100,6 +109,8 @@ def estimate_epoch(
         model=workload.model,
     )
     eff = batch_efficiency(workload.batch_size, full_at=full_at, floor=floor)
+    if device.flops_per_s <= 0:
+        raise ValueError(f"device {device.name!r} has non-positive flops_per_s")
     step_seconds = workload.step_flops * plan.rho / (device.flops_per_s * eff)
     return EpochEstimate(
         model=workload.model,
@@ -146,8 +157,13 @@ class DutyCycleResult:
 
     @property
     def achieved_idle_fraction(self) -> float:
-        if self.wall_seconds <= 0:
-            return 1.0
+        """``compute / wall``; 1.0 for the empty run, ``inf``/``ValueError``
+        for denominators the simulation cannot produce (hand-built
+        results with zero or negative wall time)."""
+        if self.wall_seconds < 0:
+            raise ValueError("wall_seconds must be >= 0")
+        if self.wall_seconds == 0:
+            return 1.0 if self.compute_seconds == 0 else float("inf")
         return self.compute_seconds / self.wall_seconds
 
 
@@ -182,26 +198,38 @@ class DutyCycleSimulator:
         """Wall-clock time to accumulate ``compute_seconds`` of training."""
         if compute_seconds < 0:
             raise ValueError("compute_seconds must be non-negative")
-        if self.arrival_rate == 0 or self.mean_task_seconds == 0:
-            return DutyCycleResult(compute_seconds, compute_seconds, 0.0, 0)
-        done = 0.0
-        wall = 0.0
-        busy = 0.0
-        preemptions = 0
-        while done < compute_seconds:
-            gap = self.rng.exponential(1.0 / self.arrival_rate)
-            work = min(gap, compute_seconds - done)
-            done += work
-            wall += work
-            if done >= compute_seconds:
-                break
-            task = self.rng.exponential(self.mean_task_seconds)
-            wall += task
-            busy += task
-            preemptions += 1
-        return DutyCycleResult(
-            compute_seconds=compute_seconds,
-            wall_seconds=wall,
-            busy_seconds=busy,
-            preemptions=preemptions,
+        with get_tracer().span(
+            "duty_cycle", category="edge", compute_seconds=compute_seconds
+        ) as span:
+            if self.arrival_rate == 0 or self.mean_task_seconds == 0:
+                result = DutyCycleResult(compute_seconds, compute_seconds, 0.0, 0)
+            else:
+                done = 0.0
+                wall = 0.0
+                busy = 0.0
+                preemptions = 0
+                while done < compute_seconds:
+                    gap = self.rng.exponential(1.0 / self.arrival_rate)
+                    work = min(gap, compute_seconds - done)
+                    done += work
+                    wall += work
+                    if done >= compute_seconds:
+                        break
+                    task = self.rng.exponential(self.mean_task_seconds)
+                    wall += task
+                    busy += task
+                    preemptions += 1
+                result = DutyCycleResult(
+                    compute_seconds=compute_seconds,
+                    wall_seconds=wall,
+                    busy_seconds=busy,
+                    preemptions=preemptions,
+                )
+            span.set_tag("wall_seconds", result.wall_seconds)
+            span.set_tag("preemptions", result.preemptions)
+        m = get_metrics()
+        m.counter("edge.duty_cycle.preemptions").inc(result.preemptions)
+        m.histogram("edge.duty_cycle.idle_fraction").observe(
+            result.achieved_idle_fraction
         )
+        return result

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..checkpointing import available_strategies, compare_strategies
 from ..edge import Device, TrainingWorkload, sweep_batch_sizes
+from ..obs import get_tracer
 from ..studentteacher import (
     PipelineConfig,
     StudentConfig,
@@ -51,11 +52,22 @@ def strategy_ablation(
     registered families join the ablation without code changes here.
     """
     names = available_strategies() if strategies is None else tuple(strategies)
-    return {
-        (l, c): compare_strategies(l, c, strategies=names)
-        for l in lengths
-        for c in slot_budgets
-    }
+    tracer = get_tracer()
+    out: dict[tuple[int, int], dict[str, float]] = {}
+    with tracer.span(
+        "strategy_ablation",
+        category="ablation",
+        lengths=len(lengths),
+        slot_budgets=len(slot_budgets),
+        strategies=len(names),
+    ):
+        for l in lengths:
+            for c in slot_budgets:
+                with tracer.span("cell", category="ablation", length=l, slots=c) as cell:
+                    entry = compare_strategies(l, c, strategies=names)
+                    cell.set_tag("best", min(entry, key=entry.get))
+                out[(l, c)] = entry
+    return out
 
 
 def strategy_ablation_table(

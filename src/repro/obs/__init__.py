@@ -1,0 +1,61 @@
+"""repro.obs — unified tracing and metrics for the whole stack.
+
+One tracer, one metrics registry, three exporters.  The executor,
+trainer, checkpoint-schedule cache, simulators, fleet and
+student-teacher pipeline are all instrumented against this package;
+``docs/observability.md`` is the guide.
+
+>>> from repro import obs
+>>> with obs.tracing() as tracer:
+...     with tracer.span("epoch", category="epoch", epoch=0):
+...         obs.get_metrics().counter("batches").inc()
+>>> print(obs.summary(tracer))  # doctest: +SKIP
+
+Disabled by default: the process tracer is a :class:`NullTracer`, so
+instrumented hot paths cost only a null check until :func:`tracing`
+(or :func:`set_tracer`) installs a live one.
+"""
+
+from .export import chrome_trace, summary, to_jsonl, write_chrome_trace, write_jsonl
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    get_metrics,
+    reset_metrics,
+    set_metrics,
+)
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "get_metrics",
+    "set_metrics",
+    "reset_metrics",
+    "chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "summary",
+]

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..autodiff.data import Dataset
 from ..edge.storage import ImageStore
+from ..obs import get_metrics, get_tracer
 from .harvest import HarvestResult, harvest_labels
 from .student import StudentConfig, StudentModel, train_student
 from .teacher import TeacherModel
@@ -74,52 +75,73 @@ class PipelineResult:
 
 
 def run_pipeline(cfg: PipelineConfig = PipelineConfig()) -> PipelineResult:
-    """Run the full in-situ student-teacher experiment."""
+    """Run the full in-situ student-teacher experiment.
+
+    Each stage runs under its own ``stage``-category span of the process
+    tracer; harvest size/purity land on the shared metrics registry.
+    """
     rng = np.random.default_rng(cfg.seed)
+    tracer = get_tracer()
     world = ViewpointWorld(
         num_classes=cfg.num_classes,
         feature_dim=cfg.feature_dim,
         rng=rng,
     )
 
-    # 1. Teacher fit on frontal (centrally collected) data.
-    x_tr, y_tr = world.sample_frontal(cfg.teacher_train_per_class)
-    teacher = TeacherModel.fit(x_tr, y_tr)
-    teacher_frontal = teacher.accuracy(x_tr, y_tr)
-
-    # 2. The node watches subjects cross; the tracker links detections.
-    episode = world.generate_episode(
+    with tracer.span(
+        "viewpoint_pipeline",
+        category="campaign",
         n_subjects=cfg.n_subjects,
-        frames_per_crossing=cfg.frames_per_crossing,
-        camera_skew_deg=cfg.camera_skew_deg,
-    )
-    assignments = track_episode(episode)
+        skew_deg=cfg.camera_skew_deg,
+    ):
+        # 1. Teacher fit on frontal (centrally collected) data.
+        with tracer.span("teacher_fit", category="stage"):
+            x_tr, y_tr = world.sample_frontal(cfg.teacher_train_per_class)
+            teacher = TeacherModel.fit(x_tr, y_tr)
+            teacher_frontal = teacher.accuracy(x_tr, y_tr)
 
-    # 3. Harvest auto-labelled data via confident-label propagation.
-    harvest = harvest_labels(
-        episode,
-        assignments,
-        teacher,
-        confidence_threshold=cfg.confidence_threshold,
-    )
+        # 2. The node watches subjects cross; the tracker links detections.
+        with tracer.span("track", category="stage"):
+            episode = world.generate_episode(
+                n_subjects=cfg.n_subjects,
+                frames_per_crossing=cfg.frames_per_crossing,
+                camera_skew_deg=cfg.camera_skew_deg,
+            )
+            assignments = track_episode(episode)
 
-    # 4. Train the student in-situ on the harvested set.
-    student = train_student(
-        Dataset(harvest.x, harvest.y),
-        num_classes=cfg.num_classes,
-        cfg=cfg.student,
-    )
+        # 3. Harvest auto-labelled data via confident-label propagation.
+        with tracer.span("harvest", category="stage") as h_span:
+            harvest = harvest_labels(
+                episode,
+                assignments,
+                teacher,
+                confidence_threshold=cfg.confidence_threshold,
+            )
+            h_span.set_tag("samples", len(harvest))
+            h_span.set_tag("purity", harvest.label_purity)
+        m = get_metrics()
+        m.gauge("pipeline.harvested_samples").set(len(harvest))
+        m.gauge("pipeline.label_purity").set(harvest.label_purity)
 
-    # 5. Evaluate both models across the full angle range.
-    bins = np.asarray(cfg.angle_bins)
-    angles = np.linspace(-cfg.camera_skew_deg, cfg.camera_skew_deg, 23)
-    x_ev, y_ev, a_ev = world.sample_at_angles(cfg.eval_per_class, angles)
-    teacher_by_angle = teacher.accuracy_by_angle(x_ev, y_ev, a_ev, bins)
-    student_by_angle = student.accuracy_by_angle(x_ev, y_ev, a_ev, bins)
+        # 4. Train the student in-situ on the harvested set.
+        with tracer.span("student_train", category="stage"):
+            student = train_student(
+                Dataset(harvest.x, harvest.y),
+                num_classes=cfg.num_classes,
+                cfg=cfg.student,
+            )
 
-    # 6. Storage check (paper's 10 kB/image sizing).
-    store = ImageStore(capacity_bytes=10**12)  # unbounded; we just size it
-    storage_needed = store.dataset_bytes(len(harvest))
+        # 5. Evaluate both models across the full angle range.
+        with tracer.span("evaluate", category="stage"):
+            bins = np.asarray(cfg.angle_bins)
+            angles = np.linspace(-cfg.camera_skew_deg, cfg.camera_skew_deg, 23)
+            x_ev, y_ev, a_ev = world.sample_at_angles(cfg.eval_per_class, angles)
+            teacher_by_angle = teacher.accuracy_by_angle(x_ev, y_ev, a_ev, bins)
+            student_by_angle = student.accuracy_by_angle(x_ev, y_ev, a_ev, bins)
+
+        # 6. Storage check (paper's 10 kB/image sizing).
+        store = ImageStore(capacity_bytes=10**12)  # unbounded; we just size it
+        storage_needed = store.dataset_bytes(len(harvest))
 
     return PipelineResult(
         teacher_frontal_accuracy=teacher_frontal,

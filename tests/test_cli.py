@@ -158,3 +158,77 @@ class TestExtensionCommands:
         assert out.count("wrote") >= 20
         assert (tmp_path / "table1_ours.txt").exists()
         assert (tmp_path / "figure1_b.csv").exists()
+
+
+class TestTrace:
+    def test_trace_figure1_chrome_categories(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "t.json"
+        out = run(capsys, "trace", "figure1", "--out", str(path))
+        assert "Figure 1" in out  # wrapped command output still printed
+        assert "trace written to" in out
+        doc = json.loads(path.read_text())
+        cats = {e["cat"] for e in doc["traceEvents"]}
+        assert {"epoch", "batch", "action", "cache"} <= cats
+
+    def test_trace_passes_wrapped_flags(self, capsys, tmp_path):
+        path = tmp_path / "t.json"
+        out = run(capsys, "trace", "figure1", "--panel", "a", "--out", str(path))
+        assert "Figure 1a" in out
+        assert path.exists()
+
+    def test_trace_jsonl_format(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        run(capsys, "trace", "strategies", "--out", str(path), "--format", "jsonl")
+        lines = path.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line) for line in lines)
+
+    def test_trace_summary_format(self, capsys, tmp_path):
+        path = tmp_path / "t.txt"
+        run(capsys, "trace", "strategies", "--out", str(path), "--format", "summary")
+        assert "category" in path.read_text()
+
+    def test_trace_no_probe_skips_training(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "t.json"
+        run(capsys, "trace", "strategies", "--out", str(path), "--no-probe")
+        doc = json.loads(path.read_text())
+        cats = {e["cat"] for e in doc["traceEvents"]}
+        assert "cache" in cats and "epoch" not in cats
+
+    def test_trace_of_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "trace", "figure1"])
+
+    def test_tracer_restored_after_trace(self, capsys, tmp_path):
+        from repro.obs import NullTracer, get_tracer
+
+        run(capsys, "trace", "strategies", "--out", str(tmp_path / "t.json"))
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_ablation_trace_flag(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "abl.json"
+        out = run(capsys, "ablation", "--strategy", "revolve", "--trace", str(path))
+        assert "trace written to" in out
+        doc = json.loads(path.read_text())
+        cells = [e for e in doc["traceEvents"] if e["name"] == "cell"]
+        # one span per (length, budget) cell of the ablation grid
+        assert len(cells) == 5 * 5
+        assert all(e["cat"] == "ablation" for e in cells)
+
+    def test_viewpoint_trace_flag(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "vp.json"
+        out = run(capsys, "viewpoint", "--subjects", "20", "--epochs", "3", "--trace", str(path))
+        assert "recovery" in out
+        doc = json.loads(path.read_text())
+        cats = {e["cat"] for e in doc["traceEvents"]}
+        assert {"campaign", "stage"} <= cats

@@ -124,3 +124,65 @@ class TestDutyCycle:
             DutyCycleSimulator(rng, arrival_rate_per_hour=-1)
         with pytest.raises(ValueError):
             DutyCycleSimulator(rng).run(-1.0)
+
+
+class TestZeroDenominators:
+    """ISSUE 2 satellite: divisions guard their zero/negative denominators."""
+
+    def test_idle_fraction_empty_run_is_one(self):
+        from repro.edge.simulator import DutyCycleResult
+
+        res = DutyCycleResult(0.0, 0.0, 0.0, 0)
+        assert res.achieved_idle_fraction == 1.0
+
+    def test_idle_fraction_zero_wall_nonzero_compute_is_inf(self):
+        from repro.edge.simulator import DutyCycleResult
+
+        res = DutyCycleResult(10.0, 0.0, 0.0, 0)
+        assert res.achieved_idle_fraction == float("inf")
+
+    def test_idle_fraction_negative_wall_raises(self):
+        from repro.edge.simulator import DutyCycleResult
+
+        res = DutyCycleResult(10.0, -1.0, 0.0, 0)
+        with pytest.raises(ValueError):
+            res.achieved_idle_fraction
+
+    def test_zero_compute_run_is_consistent(self):
+        sim = DutyCycleSimulator(np.random.default_rng(0))
+        res = sim.run(0.0)
+        assert res.achieved_idle_fraction == 1.0
+
+    def test_rho_guards_invalid_plan(self):
+        import dataclasses
+
+        est = estimate_epoch(workload(), GENERIC_2GB)
+        assert est.rho >= 1.0
+        broken = dataclasses.replace(est, plan=dataclasses.replace(est.plan, rho=0.0))
+        with pytest.raises(ValueError):
+            broken.rho
+
+    def test_samples_per_second_zero_step_is_inf(self):
+        import dataclasses
+
+        est = estimate_epoch(workload(), GENERIC_2GB)
+        assert est.samples_per_second > 0
+        degenerate = dataclasses.replace(est, step_seconds=0.0)
+        assert degenerate.samples_per_second == float("inf")
+        negative = dataclasses.replace(est, step_seconds=-1.0)
+        with pytest.raises(ValueError):
+            negative.samples_per_second
+
+    def test_estimate_epoch_rejects_zero_flops_device(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(GENERIC_2GB, cpu_gflops=0.0, gpu_gflops=0.0)
+
+        class DeadDevice:  # duck-typed stand-in that skips Device validation
+            name = "dead"
+            mem_bytes = GENERIC_2GB.mem_bytes
+            flops_per_s = 0.0
+
+        with pytest.raises(ValueError):
+            estimate_epoch(workload(), DeadDevice())

@@ -81,6 +81,19 @@ def test_reproduce_figure1(capsys, tmp_path):
     assert (tmp_path / "figure1_b.csv").exists()
 
 
+def test_trace_training(capsys, tmp_path):
+    import json
+
+    out = run_main("trace_training", capsys, argv=["--outdir", str(tmp_path)])
+    assert "final accuracy" in out
+    assert "category" in out  # summary table printed
+    doc = json.loads((tmp_path / "trace.json").read_text())
+    cats = {e["cat"] for e in doc["traceEvents"]}
+    assert {"epoch", "batch", "action", "cache"} <= cats
+    lines = (tmp_path / "trace.jsonl").read_text().splitlines()
+    assert lines and all(json.loads(line) for line in lines)
+
+
 @pytest.mark.parametrize("name", ["plan_edge_fleet"])
 def test_fleet_planner(capsys, name):
     out = run_main(name, capsys)

@@ -1,0 +1,378 @@
+"""The unified tracing/metrics layer (`repro.obs`).
+
+Covers the ISSUE's named cases: span nesting, exception safety,
+disabled-mode no-op identity, Chrome-trace JSON schema round-trip,
+metrics reset between ``Trainer.fit`` calls — plus the meter's strict
+release accounting and end-to-end instrumentation of the executor,
+simulator, fleet and pipeline.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.autodiff import (
+    DenseLayer,
+    MemoryMeter,
+    Momentum,
+    ReLULayer,
+    SequentialNet,
+    Trainer,
+    TrainerConfig,
+    gaussian_blobs,
+    run_schedule,
+)
+from repro.checkpointing import revolve_schedule, simulate
+from repro.obs import (
+    NULL_TRACER,
+    Metrics,
+    NullTracer,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    reset_metrics,
+    set_tracer,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts with a disabled tracer and zeroed metrics."""
+    set_tracer(None)
+    reset_metrics()
+    yield
+    set_tracer(None)
+    reset_metrics()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def make_net(rng, depth=6):
+    layers = []
+    prev = 6
+    for i in range(depth - 1):
+        layers.append(DenseLayer(prev, 8, rng, name=f"fc{i}"))
+        layers.append(ReLULayer(name=f"r{i}"))
+        prev = 8
+    layers.append(DenseLayer(prev, 3, rng, name="head"))
+    return SequentialNet(layers)
+
+
+class TestTracerSpans:
+    def test_nesting_records_parents(self):
+        t = Tracer()
+        with t.span("outer", category="a") as outer:
+            with t.span("inner", category="b") as inner:
+                assert inner.span.parent_id == outer.span.span_id
+        spans = t.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]  # completion order
+        assert spans[1].parent_id is None
+        assert spans[0].start >= spans[1].start
+        assert all(s.duration >= 0 for s in spans)
+
+    def test_tags_and_set_tag(self):
+        t = Tracer()
+        with t.span("s", category="c", k=1) as h:
+            h.set_tag("later", "v")
+        (s,) = t.spans()
+        assert s.tags == {"k": 1, "later": "v"}
+
+    def test_exception_closes_span(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("boom", category="c"):
+                raise RuntimeError("x")
+        (s,) = t.spans()
+        assert s.end is not None
+        assert s.tags["error"] == "RuntimeError"
+        # The stack unwound: a new span is again a root.
+        with t.span("after", category="c"):
+            pass
+        assert t.spans()[-1].parent_id is None
+
+    def test_record_hot_path_nests_under_open_span(self):
+        t = Tracer()
+        with t.span("outer", category="c") as outer:
+            t0 = t.now()
+            t.record("fast", "action", t0, arg=3)
+        fast = next(s for s in t.spans() if s.name == "fast")
+        assert fast.parent_id == outer.span.span_id
+        assert fast.tags == {"arg": 3}
+
+    def test_events_attach_to_open_span(self):
+        t = Tracer()
+        with t.span("outer", category="c") as outer:
+            t.event("ping", category="cache", key="k")
+        (e,) = t.events()
+        assert e.parent_id == outer.span.span_id
+        assert e.category == "cache"
+
+    def test_clear_drops_buffers(self):
+        t = Tracer()
+        with t.span("s"):
+            t.event("e")
+        t.clear()
+        assert t.spans() == () and t.events() == ()
+
+    def test_threads_get_independent_stacks(self):
+        t = Tracer()
+        seen = {}
+
+        def worker():
+            with t.span("w", category="thread") as h:
+                seen["parent"] = h.span.parent_id
+
+        with t.span("main", category="thread"):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        # The worker's span must not nest under main's (other thread).
+        assert seen["parent"] is None
+
+    def test_categories(self):
+        t = Tracer()
+        with t.span("s", category="a"):
+            t.event("e", category="b")
+        assert t.categories() == {"a", "b"}
+
+
+class TestDisabledMode:
+    def test_default_tracer_is_disabled(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert not get_tracer().enabled
+
+    def test_null_span_is_shared_noop(self):
+        n = NullTracer()
+        s1, s2 = n.span("a"), n.span("b", category="c", tag=1)
+        assert s1 is s2  # no allocation per call
+        with s1:
+            s1.set_tag("ignored", 1)
+        assert n.spans() == () and n.events() == ()
+        assert n.record("x", "c", 0.0) is None
+        assert n.categories() == set()
+        n.event("e")
+        n.clear()
+
+    def test_executor_identical_with_and_without_tracing(self, rng):
+        net = make_net(rng)
+        sch = revolve_schedule(len(net), 3)
+        x = rng.normal(size=(8, 6))
+        y = rng.integers(0, 3, size=8)
+        base = run_schedule(net, sch, x, y)
+        with tracing() as tracer:
+            traced = run_schedule(net, sch, x, y)
+        assert traced.loss == base.loss
+        assert traced.peak_bytes == base.peak_bytes
+        assert {k: v for k, v in traced.grads.items()}.keys() == base.grads.keys()
+        assert NULL_TRACER.spans() == ()  # nothing leaked into the null tracer
+        assert any(s.category == "action" for s in tracer.spans())
+
+    def test_tracing_restores_previous_tracer(self):
+        before = get_tracer()
+        with tracing() as tracer:
+            assert get_tracer() is tracer
+            with pytest.raises(ValueError):
+                with tracing():
+                    raise ValueError
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+
+class TestExecutorInstrumentation:
+    def test_action_spans_nest_under_run(self, rng):
+        net = make_net(rng)
+        sch = revolve_schedule(len(net), 3)
+        x = rng.normal(size=(4, 6))
+        y = rng.integers(0, 3, size=4)
+        with tracing() as tracer:
+            res = run_schedule(net, sch, x, y)
+        run = next(s for s in tracer.spans() if s.name == "run_schedule")
+        actions = [s for s in tracer.spans() if s.category == "action"]
+        assert len(actions) == len(sch.actions)
+        assert all(a.parent_id == run.span_id for a in actions)
+        assert run.tags["peak_bytes"] == res.peak_bytes
+        assert run.tags["replay_steps"] == res.replay_steps
+        kinds = {a.name for a in actions}
+        assert {"ADVANCE", "SNAPSHOT", "RESTORE", "ADJOINT"} <= kinds
+        assert get_metrics().counter("executor.replays").value == res.replay_steps
+
+    def test_simulator_events_mirror_stats(self):
+        sch = revolve_schedule(12, 3)
+        with tracing() as tracer:
+            stats = simulate(sch)
+        events = [e for e in tracer.events() if e.category == "sim"]
+        assert len(events) == len(sch.actions) + 1  # one per step + summary
+        final = events[-1]
+        assert final.name == "simulated"
+        assert final.tags["replay_steps"] == stats.replay_steps
+        assert final.tags["peak_slots"] == stats.peak_slots
+
+
+class TestTrainerInstrumentation:
+    def test_epoch_batch_hierarchy(self, rng):
+        net = make_net(rng)
+        data = gaussian_blobs(32, 3, 6, rng)
+        t = Trainer(net, Momentum(net.layers, lr=0.02), TrainerConfig(epochs=2, slots=3))
+        with tracing() as tracer:
+            t.fit(data)
+        cats = tracer.categories()
+        assert {"train", "epoch", "batch", "exec", "action"} <= cats
+        epochs = [s for s in tracer.spans() if s.category == "epoch"]
+        assert len(epochs) == 2
+        fit = next(s for s in tracer.spans() if s.name == "fit")
+        assert all(e.parent_id == fit.span_id for e in epochs)
+        assert "mean_loss" in epochs[0].tags
+
+    def test_metrics_reset_between_fit_calls(self, rng):
+        net = make_net(rng)
+        data = gaussian_blobs(32, 3, 6, rng)
+        t = Trainer(net, Momentum(net.layers, lr=0.02), TrainerConfig(epochs=2))
+        t.fit(data)
+        m = get_metrics()
+        first_batches = m.counter("trainer.batches").value
+        assert first_batches > 0
+        assert m.counter("trainer.epochs").value == 2
+        reset_metrics()
+        assert m.counter("trainer.batches").value == 0
+        assert m.gauge("trainer.loss").value == 0.0
+        t.fit(data)
+        assert m.counter("trainer.batches").value == first_batches
+        assert m.gauge("trainer.loss").value == t.history[-1].mean_loss
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        m = Metrics()
+        m.counter("c").inc()
+        m.counter("c").inc(4)
+        assert m.counter("c").value == 5
+        with pytest.raises(ValueError):
+            m.counter("c").inc(-1)
+        m.gauge("g").set(2.5)
+        m.gauge("g").max(1.0)  # keeps the running maximum
+        assert m.gauge("g").value == 2.5
+        h = m.histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3 and h.min == 1.0 and h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_kind_conflict_raises(self):
+        m = Metrics()
+        m.counter("x")
+        with pytest.raises(ValueError):
+            m.gauge("x")
+
+    def test_snapshot_and_reset(self):
+        m = Metrics()
+        m.counter("c").inc(2)
+        m.gauge("g").set(1.5)
+        m.histogram("h").observe(4.0)
+        snap = m.snapshot()
+        assert snap["c"] == {"kind": "counter", "value": 2}
+        assert snap["g"] == {"kind": "gauge", "value": 1.5}
+        assert snap["h"]["count"] == 1 and snap["h"]["mean"] == 4.0
+        m.reset()
+        snap = m.snapshot()
+        assert snap["c"]["value"] == 0 and snap["h"]["count"] == 0
+        m.clear()
+        assert m.snapshot() == {}
+
+    def test_counters_thread_safe(self):
+        m = Metrics()
+
+        def worker():
+            for _ in range(1000):
+                m.counter("n").inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert m.counter("n").value == 8000
+
+
+class TestExport:
+    def _traced_training(self, rng):
+        net = make_net(rng)
+        data = gaussian_blobs(32, 3, 6, rng)
+        cfg = TrainerConfig(epochs=2, strategy="revolve", slots=3)
+        with tracing() as tracer:
+            Trainer(net, Momentum(net.layers, lr=0.02), cfg).fit(data)
+        return tracer
+
+    def test_chrome_trace_schema_roundtrip(self, rng, tmp_path):
+        tracer = self._traced_training(rng)
+        path = obs.write_chrome_trace(tmp_path / "t.json", tracer)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for ev in events:
+            assert ev["ph"] in ("X", "i")
+            assert {"name", "cat", "ts", "pid", "tid"} <= ev.keys()
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+        ts = [ev["ts"] for ev in events]
+        assert ts == sorted(ts) and min(ts) == 0.0
+        cats = {ev["cat"] for ev in events}
+        assert {"epoch", "batch", "action", "cache"} <= cats
+        assert "metrics" in doc["otherData"]
+
+    def test_jsonl_every_line_valid(self, rng, tmp_path):
+        tracer = self._traced_training(rng)
+        path = obs.write_jsonl(tmp_path / "t.jsonl", tracer)
+        lines = path.read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert {p["type"] for p in parsed} == {"span", "event", "metrics"}
+        assert parsed[-1]["type"] == "metrics"
+        assert "trainer.loss" in parsed[-1]["values"]
+
+    def test_summary_lists_spans_and_metrics(self, rng):
+        tracer = self._traced_training(rng)
+        text = obs.summary(tracer)
+        assert "epoch" in text and "ADVANCE" in text
+        assert "trainer.loss" in text
+        assert "ckpt.schedule_cache" in text
+
+    def test_empty_trace_exports(self):
+        t = Tracer()
+        doc = obs.chrome_trace(t, Metrics())
+        assert doc["traceEvents"] == []
+        assert "(no spans recorded)" in obs.summary(t, Metrics())
+        assert json.loads(obs.to_jsonl(t, Metrics()).splitlines()[-1])["type"] == "metrics"
+
+
+class TestMemoryMeterStrict:
+    def test_unmatched_release_counts(self):
+        m = MemoryMeter()
+        m.release("ghost")
+        assert m.unmatched_releases == 1
+        assert get_metrics().counter("meter.unmatched_releases").value == 1
+
+    def test_strict_raises(self):
+        m = MemoryMeter(strict=True)
+        with pytest.raises(KeyError):
+            m.release("ghost")
+        assert m.unmatched_releases == 1  # counted before raising
+
+    def test_hold_replace_is_not_unmatched(self):
+        m = MemoryMeter(strict=True)
+        m.hold("x", np.zeros(10))
+        m.hold("x", np.zeros(5))  # replace, not a release miss
+        m.release("x")
+        assert m.unmatched_releases == 0
+        assert get_metrics().counter("meter.unmatched_releases").value == 0
+
+    def test_executor_run_leaves_no_unmatched_releases(self, rng):
+        net = make_net(rng)
+        sch = revolve_schedule(len(net), 2)
+        run_schedule(net, sch, rng.normal(size=(4, 6)), rng.integers(0, 3, size=4))
+        assert get_metrics().counter("meter.unmatched_releases").value == 0
