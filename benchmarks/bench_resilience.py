@@ -1,0 +1,106 @@
+"""E21 (extension) — resilience: what does surviving crashes cost?
+
+Sections III/VI put training on field nodes with intermittent power; the
+:mod:`repro.resilience` subsystem makes crashes a first-class workload.
+This bench prices the two halves of the story and writes their tables:
+
+* the *planning* half — the Young/Daly interval sweep at two fault
+  regimes (the measured optimum must land on τ*'s grid neighbourhood);
+* the *mechanism* half — a real ``Trainer`` driven through injected
+  faults by :func:`~repro.resilience.fit_with_recovery`, timing the
+  snapshot/restore machinery against the uninterrupted fit.
+"""
+
+import numpy as np
+
+from repro.autodiff import (
+    DenseLayer,
+    Momentum,
+    ReLULayer,
+    SequentialNet,
+    Trainer,
+    TrainerConfig,
+    gaussian_blobs,
+)
+from repro.resilience import (
+    FaultInjector,
+    FixedIntervalPolicy,
+    fit_with_recovery,
+    sweep_intervals,
+)
+
+REGIMES = {
+    "flaky_sd": dict(mtbf_seconds=2 * 3600.0, snapshot_seconds=30.0),
+    "stable_emmc": dict(mtbf_seconds=12 * 3600.0, snapshot_seconds=2.0),
+}
+
+
+def _sweeps():
+    return {
+        name: sweep_intervals(
+            24 * 3600.0, kw["snapshot_seconds"], 60.0, kw["mtbf_seconds"],
+            trials=40, seed=0,
+        )
+        for name, kw in REGIMES.items()
+    }
+
+
+def test_young_daly_sweep(benchmark, outdir):
+    results = benchmark.pedantic(_sweeps, rounds=3, iterations=1)
+
+    lines = ["regime,interval_s,tau_ratio,predicted_h,measured_h"]
+    for name, sweep in results.items():
+        for row in sweep.rows:
+            lines.append(
+                f"{name},{row.interval_seconds:.1f},"
+                f"{row.interval_seconds / sweep.tau_star_seconds:.3f},"
+                f"{row.predicted_seconds / 3600:.3f},{row.measured_seconds / 3600:.3f}"
+            )
+    (outdir / "resilience_sweep.csv").write_text("\n".join(lines) + "\n")
+
+    # The acceptance criterion, at both (MTBF, cost) regimes: the
+    # measured optimum recovers the Young/Daly prediction.
+    for name, sweep in results.items():
+        assert sweep.recovers_young_daly(), name
+
+
+def _make_trainer():
+    rng = np.random.default_rng(7)
+    net = SequentialNet(
+        [
+            DenseLayer(6, 24, rng, name="fc0"),
+            ReLULayer(name="r0"),
+            DenseLayer(24, 3, rng, name="head"),
+        ]
+    )
+    return Trainer(
+        net, Momentum(net.layers, lr=0.02), TrainerConfig(epochs=6, shuffle_seed=7)
+    )
+
+
+def test_recovery_machinery_overhead(benchmark, outdir):
+    data = gaussian_blobs(64, 3, 6, np.random.default_rng(2), separation=6.0)
+    ref = _make_trainer()
+    ref.fit(data)
+
+    def crashy_fit():
+        t = _make_trainer()
+        report = fit_with_recovery(
+            t,
+            data,
+            policy=FixedIntervalPolicy(8),
+            injector=FaultInjector([10, 30, 50]),
+        )
+        return t, report
+
+    t, report = benchmark.pedantic(crashy_fit, rounds=3, iterations=1)
+
+    (outdir / "resilience_recovery.csv").write_text(
+        "faults,restores,snapshots,lost_steps,final_step\n"
+        f"{report.faults},{report.restores},{report.snapshots},"
+        f"{report.lost_steps},{report.final_step}\n"
+    )
+
+    assert report.faults == 3
+    # Recovery must not change the answer, only the wall clock.
+    assert [r.mean_loss for r in t.history] == [r.mean_loss for r in ref.history]

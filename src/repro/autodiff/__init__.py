@@ -24,7 +24,7 @@ from .optim import SGD, Adam, Momentum, Optimizer
 from .network import SequentialNet
 from .executor import CheckpointedResult, run_schedule
 from .rnn import RNNStepLayer, UnrolledRNN
-from .trainer import EpochRecord, Trainer, TrainerConfig
+from .trainer import EpochRecord, FitCursor, Trainer, TrainerConfig
 from .meter import MemoryMeter
 from .data import Dataset, batches, gaussian_blobs, image_blobs, spirals
 
@@ -60,6 +60,7 @@ __all__ = [
     "Trainer",
     "TrainerConfig",
     "EpochRecord",
+    "FitCursor",
     "RNNStepLayer",
     "UnrolledRNN",
     "MemoryMeter",

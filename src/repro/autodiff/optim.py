@@ -31,6 +31,21 @@ class Optimizer:
     def step(self, grads: GradMap) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Internal state as plain scalars and arrays (copies).
+
+        Together with the layer parameters this fully determines future
+        steps, which is what lets :mod:`repro.resilience` snapshots
+        resume training bit-identically.  Subclasses with state override
+        both this and :meth:`load_state_dict`.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        if state:
+            raise ValueError(f"{type(self).__name__} carries no state, got {sorted(state)}")
+
     @property
     def state_bytes(self) -> int:
         per_copy = sum(int(v.nbytes) for lay in self.layers for v in lay.params.values())
@@ -72,6 +87,12 @@ class Momentum(Optimizer):
             v -= self.lr * g
             value += v
 
+    def state_dict(self) -> dict:
+        return {"vel": {k: v.copy() for k, v in self._vel.items()}}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._vel = {k: np.array(v, copy=True) for k, v in state["vel"].items()}
+
 
 class Adam(Optimizer):
     """Adam (Kingma & Ba) with bias correction."""
@@ -106,3 +127,15 @@ class Adam(Optimizer):
             mhat = m / (1 - b1**self._t)
             vhat = v / (1 - b2**self._t)
             value -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "t": self._t,
+            "m": {k: v.copy() for k, v in self._m.items()},
+            "v": {k: v.copy() for k, v in self._v.items()},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._t = int(state["t"])
+        self._m = {k: np.array(v, copy=True) for k, v in state["m"].items()}
+        self._v = {k: np.array(v, copy=True) for k, v in state["v"].items()}

@@ -24,7 +24,7 @@ from .loss import accuracy, softmax_cross_entropy
 from .network import SequentialNet
 from .optim import Optimizer
 
-__all__ = ["TrainerConfig", "EpochRecord", "Trainer"]
+__all__ = ["TrainerConfig", "EpochRecord", "FitCursor", "Trainer"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,35 @@ class EpochRecord:
     epoch: int
     mean_loss: float
     peak_bytes: int
+
+
+@dataclass(frozen=True)
+class FitCursor:
+    """Exact position inside a :meth:`Trainer.fit` run.
+
+    Captures everything the loop itself carries between optimizer steps:
+    the epoch, how many batches of that epoch are already done, the
+    global step counter, and the partial-epoch accumulators.  Because
+    the per-epoch batch order is a pure function of
+    ``(shuffle_seed, epoch)``, a cursor plus the model/optimizer state
+    is sufficient to resume a run bit-identically — no replay of earlier
+    epochs is needed.  :mod:`repro.resilience` serializes cursors inside
+    durable training snapshots.
+    """
+
+    epoch: int = 0
+    #: batches of ``epoch`` already completed (the next batch index).
+    batch: int = 0
+    #: global optimizer steps completed (drives stochastic layers).
+    step: int = 0
+    #: partial-epoch accumulators, so mid-epoch resumes reproduce the
+    #: epoch's mean loss and peak exactly.
+    loss_sum: float = 0.0
+    peak_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0 or self.batch < 0 or self.step < 0:
+            raise ValueError("cursor fields must be non-negative")
 
 
 @dataclass
@@ -174,15 +203,32 @@ class Trainer:
                     acc[k] = w * g
         return total_loss, acc, peak
 
-    def fit(self, data: Dataset) -> list[EpochRecord]:
+    def fit(
+        self,
+        data: Dataset,
+        *,
+        cursor: FitCursor | None = None,
+        on_step=None,
+    ) -> list[EpochRecord]:
         """Train; returns (and appends to) the epoch history.
+
+        Each epoch's batch order is a pure function of
+        ``(shuffle_seed, epoch)``, so any position in the run is
+        reproducible without replaying earlier epochs.  ``cursor``
+        resumes from such a position (restore the model/optimizer state
+        first — see :mod:`repro.resilience`); ``on_step`` is called after
+        every optimizer step as ``on_step(cursor, loss)`` with the
+        :class:`FitCursor` a resume should pass, and may raise (e.g.
+        :class:`~repro.errors.FaultError` from a fault injector) to
+        abort the run.
 
         Runs under the process tracer: one ``train``-category span for
         the fit, nested ``epoch``/``batch`` spans, and the shared
         metrics gauges ``trainer.loss`` / ``trainer.peak_bytes`` plus
         counters ``trainer.epochs`` / ``trainer.batches``.
         """
-        rng = np.random.default_rng(self.config.shuffle_seed)
+        start = cursor or FitCursor()
+        self._step = start.step
         sample = min(self.config.micro_batch_size or self.config.batch_size, self.config.batch_size)
         schedule = self._resolve_schedule(data.x[:sample])
         self._schedule = schedule
@@ -194,11 +240,23 @@ class Trainer:
             strategy=self.schedule_strategy,
             epochs=self.config.epochs,
             batch_size=self.config.batch_size,
+            start_epoch=start.epoch,
         ):
-            for epoch in range(self.config.epochs):
-                total, nb, peak = 0.0, 0, 0
+            for epoch in range(start.epoch, self.config.epochs):
+                resuming = epoch == start.epoch
+                skip = start.batch if resuming else 0
+                total = start.loss_sum if resuming else 0.0
+                nb = skip
+                peak = start.peak_bytes if resuming else 0
+                # One independent generator per epoch: epoch k's batch
+                # order needs no replay of epochs 0..k-1.
+                rng = np.random.default_rng((self.config.shuffle_seed, epoch))
                 with tracer.span("epoch", category="epoch", epoch=epoch) as ep_span:
-                    for xb, yb in batches(data, self.config.batch_size, rng):
+                    for bi, (xb, yb) in enumerate(
+                        batches(data, self.config.batch_size, rng)
+                    ):
+                        if bi < skip:
+                            continue
                         self._bump_step()
                         with tracer.span(
                             "batch", category="batch", step=self._step, size=len(xb)
@@ -210,6 +268,17 @@ class Trainer:
                         total += loss
                         nb += 1
                         peak = max(peak, step_peak)
+                        if on_step is not None:
+                            on_step(
+                                FitCursor(
+                                    epoch=epoch,
+                                    batch=bi + 1,
+                                    step=self._step,
+                                    loss_sum=total,
+                                    peak_bytes=peak,
+                                ),
+                                loss,
+                            )
                     record = EpochRecord(
                         epoch=epoch, mean_loss=total / max(1, nb), peak_bytes=peak
                     )

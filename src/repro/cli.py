@@ -106,6 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--days", type=int, default=30)
     sp.add_argument("--period", type=int, default=5, help="federation period (0=isolated)")
     sp.add_argument("--transfer", type=float, default=0.15)
+    sp.add_argument("--crash-rate", type=float, default=0.0, help="per-node daily crash probability")
+    sp.add_argument("--seed", type=int, default=0)
+
+    sp = sub.add_parser(
+        "resilience",
+        help="fault tolerance: expected makespan + Young/Daly snapshot-interval sweep",
+    )
+    sp.add_argument("--mtbf-hours", type=float, default=12.0, help="mean time between failures")
+    sp.add_argument("--work-hours", type=float, default=24.0, help="fault-free compute to finish")
+    sp.add_argument("--snapshot-mb", type=float, default=50.0, help="durable snapshot payload size")
+    sp.add_argument("--storage", choices=("sd-card", "emmc"), default="sd-card")
+    sp.add_argument("--restart-s", type=float, default=60.0, help="reboot cost per crash")
+    sp.add_argument("--trials", type=int, default=40, help="Monte-Carlo trials per interval")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--trace", metavar="FILE", help="write a Chrome-trace of the run to FILE")
 
     sp = sub.add_parser("energy", help="ship-vs-local energy breakevens")
     sp.add_argument("--image-kb", type=float, default=10.0)
@@ -324,7 +339,13 @@ def _fleet(args: argparse.Namespace) -> str:
     from .units import GB
 
     iso = simulate_fleet(
-        FleetConfig(n_nodes=args.nodes, days=args.days, federation_period=0)
+        FleetConfig(
+            n_nodes=args.nodes,
+            days=args.days,
+            federation_period=0,
+            crash_rate_per_day=args.crash_rate,
+            seed=args.seed,
+        )
     )
     fed = simulate_fleet(
         FleetConfig(
@@ -332,17 +353,68 @@ def _fleet(args: argparse.Namespace) -> str:
             days=args.days,
             federation_period=args.period,
             transfer_value=args.transfer,
+            crash_rate_per_day=args.crash_rate,
+            seed=args.seed,
         )
     )
-    return (
+    out = (
         f"Fleet of {args.nodes} nodes over {args.days} days "
-        f"(transfer value {args.transfer}):\n"
+        f"(transfer value {args.transfer}, seed {args.seed}):\n"
         f"  isolated : mean {iso.mean_final_accuracy:.3f}  "
         f"worst {iso.worst_final_accuracy:.3f}  radio 0.0 GB\n"
         f"  federated: mean {fed.mean_final_accuracy:.3f}  "
         f"worst {fed.worst_final_accuracy:.3f}  "
         f"radio {fed.radio_bytes_total / GB:.1f} GB (period {args.period} days)"
     )
+    if args.crash_rate > 0:
+        out += (
+            f"\n  faults   : rate {args.crash_rate:.3f}/node/day -> "
+            f"{iso.total_crashes} crashes, "
+            f"{iso.total_lost_samples:.0f} samples lost, "
+            f"{sum(iso.downtime_days)} node-days down (isolated run)"
+        )
+    return out
+
+
+def _resilience(args: argparse.Namespace) -> str:
+    from .edge.storage import EMMC, SD_CARD
+    from .resilience import overhead_vs_fault_rate, sweep_intervals, young_daly_interval
+
+    storage = {"sd-card": SD_CARD, "emmc": EMMC}[args.storage]
+    snapshot_bytes = int(args.snapshot_mb * MB)
+    delta = storage.write_seconds(snapshot_bytes)
+    mtbf = args.mtbf_hours * 3600.0
+    work = args.work_hours * 3600.0
+    tau = young_daly_interval(mtbf, delta)
+    sweep = sweep_intervals(
+        work, delta, args.restart_s, mtbf, trials=args.trials, seed=args.seed
+    )
+    lines = [
+        f"Resilience planner ({args.storage}, seed {args.seed}):",
+        f"  snapshot payload   : {args.snapshot_mb:.0f} MB -> "
+        f"delta = {delta:.2f} s per durable write",
+        f"  Young/Daly optimum : tau* = sqrt(2*delta*MTBF) = {tau:.1f} s "
+        f"at MTBF {args.mtbf_hours:g} h",
+        "",
+        sweep.render(),
+        "",
+        f"Overhead vs fault rate ({args.work_hours:g} h of work, "
+        f"snapshotting at each rate's tau*):",
+        f"{'MTBF h':>8}{'tau* s':>9}{'predicted':>11}{'measured':>10}",
+    ]
+    for row in overhead_vs_fault_rate(
+        work,
+        delta,
+        args.restart_s,
+        (mtbf / 4, mtbf, 4 * mtbf),
+        trials=args.trials,
+        seed=args.seed,
+    ):
+        lines.append(
+            f"{row.mtbf_seconds / 3600:>8.2f}{row.tau_star_seconds:>9.1f}"
+            f"{row.predicted_overhead:>10.1%}{row.measured_overhead:>10.1%}"
+        )
+    return "\n".join(lines)
 
 
 def _energy(args: argparse.Namespace) -> str:
@@ -525,6 +597,7 @@ _HANDLERS = {
     "disk-revolve": _disk_revolve,
     "campaign": _campaign,
     "fleet": _fleet,
+    "resilience": _resilience,
     "energy": _energy,
     "batch-tradeoff": _batch_tradeoff,
     "viewpoint": _viewpoint,

@@ -17,7 +17,7 @@ from .power import (
     compare_strategies_energy,
     streaming_comparison,
 )
-from .storage import PAPER_IMAGE_COUNT, PAPER_IMAGE_KB, ImageStore
+from .storage import EMMC, PAPER_IMAGE_COUNT, PAPER_IMAGE_KB, SD_CARD, ImageStore, StorageProfile
 from .workload import TrainingWorkload
 from .campaign import (
     CampaignConfig,
@@ -46,6 +46,9 @@ __all__ = [
     "ImageStore",
     "PAPER_IMAGE_KB",
     "PAPER_IMAGE_COUNT",
+    "StorageProfile",
+    "SD_CARD",
+    "EMMC",
     "TrainingWorkload",
     "batch_efficiency",
     "EpochEstimate",

@@ -17,6 +17,14 @@ Array-of-Things nodes:
 The result reports fleet accuracy trajectories and total radio bytes, so
 the communication/benefit trade-off the paper gestures at becomes a
 number.
+
+Nodes are not assumed immortal: with a nonzero ``crash_rate_per_day``
+each node can crash (power loss, SD corruption), losing every example
+harvested since its last durable snapshot
+(``snapshot_period_days``, the fleet-level analogue of the
+:mod:`repro.resilience` snapshot policies), then sit out a sampled
+outage before rejoining.  The result then reports per-node crash
+counts, lost work and downtime instead of assuming full availability.
 """
 
 from __future__ import annotations
@@ -48,6 +56,14 @@ class FleetConfig:
     #: days between federation rounds (0 = isolated)
     federation_period: int = 0
     model_bytes: int = 50_000_000
+    #: per-node daily crash probability (0 = the happy path)
+    crash_rate_per_day: float = 0.0
+    #: days between durable on-node snapshots; a crash loses every
+    #: example harvested since the last one
+    snapshot_period_days: int = 1
+    #: mean extra days a crashed node stays down before rejoining
+    #: (geometric; the crash day itself is always lost)
+    outage_days_mean: float = 1.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -57,6 +73,12 @@ class FleetConfig:
             raise PlanningError("transfer_value must be in [0, 1]")
         if self.federation_period < 0:
             raise PlanningError("federation_period must be >= 0")
+        if not 0.0 <= self.crash_rate_per_day < 1.0:
+            raise PlanningError("crash_rate_per_day must be in [0, 1)")
+        if self.snapshot_period_days < 1:
+            raise PlanningError("snapshot_period_days must be >= 1")
+        if self.outage_days_mean < 0:
+            raise PlanningError("outage_days_mean must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -67,15 +89,23 @@ class FleetDay:
     mean_accuracy: float
     min_accuracy: float
     radio_bytes_total: int
+    #: nodes that harvested today (not mid-outage)
+    nodes_up: int = -1
 
 
 @dataclass(frozen=True)
 class FleetResult:
-    """Trajectories plus totals."""
+    """Trajectories plus totals (and, under faults, the damage report)."""
 
     days: tuple[FleetDay, ...]
     final_accuracies: tuple[float, ...]
     radio_bytes_total: int
+    #: per-node crash counts over the campaign
+    crashes: tuple[int, ...] = ()
+    #: per-node examples lost to un-snapshotted work
+    lost_samples: tuple[float, ...] = ()
+    #: per-node days spent down (crash day + outage) before rejoining
+    downtime_days: tuple[int, ...] = ()
 
     @property
     def mean_final_accuracy(self) -> float:
@@ -84,6 +114,14 @@ class FleetResult:
     @property
     def worst_final_accuracy(self) -> float:
         return float(np.min(self.final_accuracies))
+
+    @property
+    def total_crashes(self) -> int:
+        return int(sum(self.crashes))
+
+    @property
+    def total_lost_samples(self) -> float:
+        return float(sum(self.lost_samples))
 
     def day_reaching(self, target: float) -> int | None:
         """First day the fleet *minimum* accuracy clears ``target``."""
@@ -99,6 +137,13 @@ def simulate_fleet(cfg: FleetConfig) -> FleetResult:
     A node's effective samples = its own harvest + ``transfer_value`` ×
     the mean *other-node* harvest shared at federation rounds.  Radio
     cost per round = 2 × model_bytes × n_nodes (upload + download).
+
+    With ``crash_rate_per_day > 0`` nodes fail: a crashed node rolls its
+    harvest back to the last durable snapshot (taken every
+    ``snapshot_period_days``), emits a ``fault``-category trace event,
+    sits out a geometric outage, then rejoins.  The happy path
+    (``crash_rate_per_day == 0``) draws exactly the same random stream
+    as before faults existed, so seeded results are unchanged.
     """
     rng = np.random.default_rng(cfg.seed)
     tracer = get_tracer()
@@ -107,6 +152,11 @@ def simulate_fleet(cfg: FleetConfig) -> FleetResult:
     node_rates = rng.gamma(cfg.traffic_shape, scale, size=cfg.n_nodes)
     own = np.zeros(cfg.n_nodes)
     borrowed = np.zeros(cfg.n_nodes)
+    snapshotted = np.zeros(cfg.n_nodes)  # harvest as of the last durable write
+    down_until = np.zeros(cfg.n_nodes, dtype=np.int64)  # first day back up
+    crashes = np.zeros(cfg.n_nodes, dtype=np.int64)
+    lost = np.zeros(cfg.n_nodes)
+    downtime = np.zeros(cfg.n_nodes, dtype=np.int64)
     radio = 0
     rounds = 0
     days: list[FleetDay] = []
@@ -116,10 +166,40 @@ def simulate_fleet(cfg: FleetConfig) -> FleetResult:
         n_nodes=cfg.n_nodes,
         days=cfg.days,
         federation_period=cfg.federation_period,
+        crash_rate_per_day=cfg.crash_rate_per_day,
     ) as span:
         for day in range(1, cfg.days + 1):
+            up = down_until <= day
             crossings = rng.poisson(node_rates)
-            own += crossings * cfg.images_per_crossing
+            own += np.where(up, crossings * cfg.images_per_crossing, 0.0)
+            if cfg.crash_rate_per_day:
+                up_idx = np.flatnonzero(up)
+                struck = up_idx[rng.random(up_idx.size) < cfg.crash_rate_per_day]
+                for i in struck:
+                    lost_now = own[i] - snapshotted[i]
+                    lost[i] += lost_now
+                    own[i] = snapshotted[i]
+                    crashes[i] += 1
+                    if cfg.outage_days_mean > 0:
+                        outage = int(rng.geometric(min(1.0, 1.0 / cfg.outage_days_mean)))
+                    else:
+                        outage = 0
+                    down_until[i] = day + 1 + outage
+                    downtime[i] += outage
+                    if tracer.enabled:
+                        tracer.event(
+                            "node_crash",
+                            category="fault",
+                            day=day,
+                            node=int(i),
+                            lost_samples=float(lost_now),
+                            rejoin_day=int(down_until[i]),
+                        )
+                if struck.size:
+                    up = down_until <= day
+                # Durable snapshot day: surviving nodes persist their harvest.
+                if day % cfg.snapshot_period_days == 0:
+                    snapshotted[up] = own[up]
             if cfg.federation_period and day % cfg.federation_period == 0:
                 total = own.sum()
                 for i in range(cfg.n_nodes):
@@ -142,17 +222,24 @@ def simulate_fleet(cfg: FleetConfig) -> FleetResult:
                     mean_accuracy=float(accs.mean()),
                     min_accuracy=float(accs.min()),
                     radio_bytes_total=radio,
+                    nodes_up=int(up.sum()),
                 )
             )
         final = np.array([cfg.curve.accuracy(int(e)) for e in own + borrowed])
         span.set_tag("radio_bytes_total", radio)
         span.set_tag("mean_final_accuracy", float(final.mean()))
+        span.set_tag("crashes_total", int(crashes.sum()))
     m = get_metrics()
     m.counter("fleet.federation_rounds").inc(rounds)
     m.gauge("fleet.radio_bytes_total").set(radio)
     m.gauge("fleet.mean_final_accuracy").set(float(final.mean()))
+    m.counter("fleet.crashes").inc(int(crashes.sum()))
+    m.gauge("fleet.lost_samples_total").set(float(lost.sum()))
     return FleetResult(
         days=tuple(days),
         final_accuracies=tuple(float(a) for a in final),
         radio_bytes_total=radio,
+        crashes=tuple(int(c) for c in crashes),
+        lost_samples=tuple(float(x) for x in lost),
+        downtime_days=tuple(int(d) for d in downtime),
     )

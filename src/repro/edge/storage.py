@@ -1,4 +1,4 @@
-"""On-node dataset storage sizing (paper Section III).
+"""On-node dataset storage sizing and write costs (paper Section III).
 
 The paper argues harvested training images need not be stored at high
 resolution: at 224×224 a JPEG-compressed frame is ≲ 10 kB, so even a
@@ -6,6 +6,11 @@ large harvested dataset fits the node's SD card.  (The paper says 100,000
 such images need "about 10 GB"; at 10 kB each the exact figure is ~1 GB —
 ``bench_student_teacher`` prints both, and EXPERIMENTS.md notes the
 discrepancy.)
+
+:class:`StorageProfile` prices the *write path* of that same SD/flash
+medium — a fixed per-operation latency plus a bandwidth term.  It is
+how :mod:`repro.resilience` turns a durable training snapshot's byte
+size into the Young/Daly snapshot cost δ.
 """
 
 from __future__ import annotations
@@ -13,9 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import MemoryBudgetError
-from ..units import KB
+from ..units import KB, MB
 
-__all__ = ["ImageStore", "PAPER_IMAGE_KB", "PAPER_IMAGE_COUNT"]
+__all__ = [
+    "ImageStore",
+    "PAPER_IMAGE_KB",
+    "PAPER_IMAGE_COUNT",
+    "StorageProfile",
+    "SD_CARD",
+    "EMMC",
+]
 
 #: The paper's per-image size estimate at 224x224.
 PAPER_IMAGE_KB: float = 10.0
@@ -57,3 +69,35 @@ class ImageStore:
             raise MemoryBudgetError(
                 f"{n_images} images need {need} B > capacity {self.capacity_bytes} B"
             )
+
+
+@dataclass(frozen=True)
+class StorageProfile:
+    """Write-path cost model of on-node flash storage.
+
+    ``write_seconds`` is the Young/Daly δ for a payload of that size:
+    a fixed per-operation latency (filesystem metadata, erase blocks)
+    plus the bandwidth-limited transfer.
+    """
+
+    name: str = "sd-card"
+    write_bytes_per_s: float = 10.0 * MB
+    write_latency_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.write_bytes_per_s <= 0:
+            raise ValueError("write bandwidth must be positive")
+        if self.write_latency_s < 0:
+            raise ValueError("write latency must be non-negative")
+
+    def write_seconds(self, n_bytes: int) -> float:
+        """Seconds to durably write ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return self.write_latency_s + n_bytes / self.write_bytes_per_s
+
+
+#: A commodity class-10 SD card — the Array-of-Things storage medium.
+SD_CARD = StorageProfile()
+#: On-board eMMC (e.g. the ODROID XU4 option): ~4x the write bandwidth.
+EMMC = StorageProfile(name="emmc", write_bytes_per_s=40.0 * MB, write_latency_s=0.002)

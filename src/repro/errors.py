@@ -16,6 +16,8 @@ __all__ = [
     "MemoryBudgetError",
     "CalibrationError",
     "PlanningError",
+    "FaultError",
+    "SnapshotError",
 ]
 
 
@@ -49,3 +51,19 @@ class CalibrationError(ReproError):
 
 class PlanningError(ReproError):
     """The planner could not satisfy the requested constraints."""
+
+
+class FaultError(ReproError):
+    """An injected fault killed a (simulated or real) training run.
+
+    Carries the global optimizer ``step`` at which the crash struck so
+    recovery code can account lost work.
+    """
+
+    def __init__(self, message: str, step: int | None = None) -> None:
+        super().__init__(message)
+        self.step = step
+
+
+class SnapshotError(ReproError):
+    """A training snapshot is malformed, corrupted or truncated."""

@@ -1,0 +1,223 @@
+"""Seeded fault models and the training fault injector.
+
+The paper's deployment target (Sections III/VI) is a field node that
+runs training *opportunistically*: power is intermittent, the training
+process is the lowest-priority tenant, and nodes drop off the network
+for days.  Every model here is an explicit distribution over
+**time-to-failure**, seeded through a :class:`numpy.random.Generator`,
+so a "fault schedule" is a reproducible artifact the recovery layer and
+the analysis layer can share:
+
+* :class:`PoissonFaults` — memoryless crashes at a given MTBF, the
+  classic assumption behind the Young/Daly interval;
+* :class:`WeibullFaults` — ageing (or infant-mortality) failures, the
+  standard departure from memorylessness in HPC failure traces;
+* :class:`PowerLossFaults` — power loss tied to the duty-cycle model:
+  priority-task arrivals (the Poisson process driving
+  :class:`~repro.edge.simulator.DutyCycleSimulator`) are thinned by the
+  probability that a given preemption is actually a brown-out;
+* :class:`TransientDiskFaults` — a snapshot *write* that fails
+  (SD cards on outdoor nodes do that), which the snapshotter must
+  survive by keeping the previous durable snapshot.
+
+:class:`FaultInjector` converts failure times into optimizer steps and
+kills a real :meth:`Trainer.fit <repro.autodiff.trainer.Trainer.fit>`
+by raising :class:`~repro.errors.FaultError` from the ``on_step`` hook.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FaultError
+from ..obs import get_metrics, get_tracer
+
+__all__ = [
+    "FaultModel",
+    "PoissonFaults",
+    "WeibullFaults",
+    "PowerLossFaults",
+    "TransientDiskFaults",
+    "FaultInjector",
+]
+
+
+class FaultModel:
+    """A seeded distribution over time-to-failure (seconds).
+
+    Subclasses implement :meth:`sample_time_to_failure`; the base class
+    derives absolute crash times over a horizon.  ``mtbf_seconds`` is
+    the distribution mean, the quantity the Young/Daly analysis needs.
+    """
+
+    #: mean time between failures, seconds (subclasses set it).
+    mtbf_seconds: float = math.inf
+
+    def sample_time_to_failure(self, rng: np.random.Generator) -> float:
+        """Draw one time-to-failure from a fresh (rebooted) node."""
+        raise NotImplementedError
+
+    def crash_times(
+        self, rng: np.random.Generator, horizon_seconds: float
+    ) -> tuple[float, ...]:
+        """Absolute crash times in ``[0, horizon)`` (renewal process:
+        each reboot restarts the clock)."""
+        if horizon_seconds < 0:
+            raise ValueError("horizon must be non-negative")
+        times: list[float] = []
+        t = self.sample_time_to_failure(rng)
+        while t < horizon_seconds:
+            times.append(t)
+            t += self.sample_time_to_failure(rng)
+        return tuple(times)
+
+
+@dataclass
+class PoissonFaults(FaultModel):
+    """Memoryless (exponential) crashes — constant hazard rate."""
+
+    mtbf_seconds: float = 12 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf_seconds <= 0:
+            raise ValueError("mtbf_seconds must be positive")
+
+    def sample_time_to_failure(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mtbf_seconds))
+
+
+@dataclass
+class WeibullFaults(FaultModel):
+    """Weibull time-to-failure with the scale pinned to the MTBF.
+
+    ``shape < 1`` models infant mortality (nodes that crash soon after
+    reboot crash again), ``shape > 1`` ageing hardware; ``shape == 1``
+    degenerates to :class:`PoissonFaults`.  The scale is derived so the
+    *mean* stays ``mtbf_seconds``: ``scale = mtbf / Γ(1 + 1/shape)``.
+    """
+
+    mtbf_seconds: float = 12 * 3600.0
+    shape: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.mtbf_seconds <= 0 or self.shape <= 0:
+            raise ValueError("mtbf_seconds and shape must be positive")
+        self._scale = self.mtbf_seconds / math.gamma(1.0 + 1.0 / self.shape)
+
+    def sample_time_to_failure(self, rng: np.random.Generator) -> float:
+        return float(self._scale * rng.weibull(self.shape))
+
+
+@dataclass
+class PowerLossFaults(FaultModel):
+    """Power loss as a thinned duty-cycle arrival process.
+
+    The duty-cycle model (:class:`~repro.edge.simulator.DutyCycleSimulator`)
+    has priority payloads arriving as a Poisson process at
+    ``arrival_rate_per_hour``.  A fraction ``loss_probability`` of those
+    events are not benign preemptions but brown-outs that kill the node.
+    The sample is drawn structurally — a geometric number of benign
+    arrivals, then the fatal one — so the failure time is the sum of
+    that many exponential inter-arrival gaps, keeping the tie to the
+    duty-cycle parameters explicit.  MTBF = 1 / (rate · p).
+    """
+
+    arrival_rate_per_hour: float = 6.0
+    loss_probability: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_hour <= 0:
+            raise ValueError("arrival_rate_per_hour must be positive")
+        if not 0.0 < self.loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in (0, 1]")
+        rate = self.arrival_rate_per_hour / 3600.0
+        self.mtbf_seconds = 1.0 / (rate * self.loss_probability)
+
+    def sample_time_to_failure(self, rng: np.random.Generator) -> float:
+        arrivals = int(rng.geometric(self.loss_probability))
+        gap = 3600.0 / self.arrival_rate_per_hour
+        return float(rng.gamma(arrivals, gap))
+
+
+@dataclass
+class TransientDiskFaults:
+    """Independent per-write snapshot failures (flaky SD card).
+
+    Not a crash model: a failed write costs the write time but leaves
+    the run alive with the *previous* durable snapshot intact — the
+    snapshotter retries at the next policy-due step.
+    """
+
+    write_failure_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_failure_probability < 1.0:
+            raise ValueError("write_failure_probability must be in [0, 1)")
+
+    def write_fails(self, rng: np.random.Generator) -> bool:
+        if self.write_failure_probability == 0.0:
+            return False
+        return bool(rng.random() < self.write_failure_probability)
+
+
+class FaultInjector:
+    """Kills a training run at chosen global optimizer steps.
+
+    Feed :meth:`check` the cursor from a :meth:`Trainer.fit
+    <repro.autodiff.trainer.Trainer.fit>` ``on_step`` hook (the
+    recovery driver does this); when the step matches the next planned
+    kill, it raises :class:`~repro.errors.FaultError`, records a
+    ``fault``-category trace event and bumps the
+    ``resilience.faults`` counter.  Each planned step fires exactly
+    once, so a resumed run sails past the crash site.
+    """
+
+    def __init__(self, kill_steps: tuple[int, ...] | list[int]) -> None:
+        steps = sorted(set(int(s) for s in kill_steps))
+        if any(s < 1 for s in steps):
+            raise ValueError("kill steps must be >= 1 (steps are 1-based)")
+        self._pending = steps
+        self.fired: list[int] = []
+
+    @classmethod
+    def from_model(
+        cls,
+        model: FaultModel,
+        step_seconds: float,
+        total_steps: int,
+        rng: np.random.Generator,
+    ) -> "FaultInjector":
+        """Plan kill steps by sampling ``model`` over the run's horizon.
+
+        ``step_seconds`` prices one optimizer step; crash times round
+        *up* to the step in flight when the failure strikes.
+        """
+        if step_seconds <= 0:
+            raise ValueError("step_seconds must be positive")
+        if total_steps < 0:
+            raise ValueError("total_steps must be non-negative")
+        horizon = total_steps * step_seconds
+        steps = [
+            min(total_steps, max(1, math.ceil(t / step_seconds)))
+            for t in model.crash_times(rng, horizon)
+        ]
+        return cls(tuple(steps))
+
+    @property
+    def pending_steps(self) -> tuple[int, ...]:
+        return tuple(self._pending)
+
+    def check(self, step: int) -> None:
+        """Raise :class:`~repro.errors.FaultError` if a kill is due."""
+        if not self._pending or step < self._pending[0]:
+            return
+        kill = self._pending.pop(0)
+        self.fired.append(kill)
+        get_metrics().counter("resilience.faults").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("fault_injected", category="fault", step=step)
+        raise FaultError(f"injected fault at step {step}", step=step)

@@ -22,6 +22,20 @@ def rng() -> np.random.Generator:
 
 
 @pytest.fixture
+def fresh_schedule_cache():
+    """Empty schedule cache (and zeroed cache metrics) before and after.
+
+    Tests asserting on hit/miss counts or cache identity must start from
+    a known-empty cache regardless of what ran before them in the suite.
+    """
+    from repro.checkpointing import clear_schedule_cache
+
+    clear_schedule_cache()
+    yield
+    clear_schedule_cache()
+
+
+@pytest.fixture
 def small_cnn(rng: np.random.Generator) -> SequentialNet:
     """An 8-layer conv chain used across executor tests."""
     return SequentialNet(

@@ -9,7 +9,6 @@ from hypothesis import given, settings, strategies as st
 from repro.checkpointing import (
     available_strategies,
     beta,
-    clear_schedule_cache,
     compare_strategies,
     extra_forwards,
     get_strategy,
@@ -147,9 +146,9 @@ class TestCompareViaRegistry:
             compare_strategies(50, 8, strategies=("revolve", "nope"))
 
 
+@pytest.mark.usefixtures("fresh_schedule_cache")
 class TestScheduleCache:
     def test_hit_miss_accounting_and_identity(self):
-        clear_schedule_cache()
         base = schedule_cache_info()
         assert (base.hits, base.misses, base.schedules, base.stats) == (0, 0, 0, 0)
         strat = get_strategy("revolve")
@@ -161,7 +160,6 @@ class TestScheduleCache:
         assert schedule_cache_info().hits == 1
 
     def test_stats_cached_separately(self):
-        clear_schedule_cache()
         strat = get_strategy("disk_revolve")
         s1 = strat.measured(21, 3)
         s2 = strat.measured(21, 3)
@@ -170,7 +168,6 @@ class TestScheduleCache:
         assert info.stats == 1 and info.hits >= 1
 
     def test_c_insensitive_families_share_entries(self):
-        clear_schedule_cache()
         sqrt = get_strategy("sqrt")
         assert sqrt.schedule(25, 10) is sqrt.schedule(25, 24)
         assert schedule_cache_info().schedules == 1

@@ -153,6 +153,48 @@ class TestExtensionCommands:
         out = run(capsys, "fleet", "--nodes", "4", "--days", "10")
         assert "isolated" in out and "federated" in out
 
+    def test_fleet_seed_flag(self, capsys):
+        a = run(capsys, "fleet", "--nodes", "4", "--days", "10", "--seed", "5")
+        b = run(capsys, "fleet", "--nodes", "4", "--days", "10", "--seed", "5")
+        c = run(capsys, "fleet", "--nodes", "4", "--days", "10", "--seed", "6")
+        assert a == b
+        assert a != c
+
+    def test_fleet_crash_rate(self, capsys):
+        out = run(
+            capsys, "fleet", "--nodes", "6", "--days", "30",
+            "--crash-rate", "0.1", "--seed", "3",
+        )
+        assert "faults" in out and "crashes" in out and "samples lost" in out
+
+
+class TestResilience:
+    def test_report_recovers_young_daly(self, capsys):
+        out = run(capsys, "resilience", "--trials", "10")
+        assert "tau*" in out
+        assert "Young/Daly optimum recovered" in out
+        assert "Overhead vs fault rate" in out
+
+    def test_seeded_runs_reproduce(self, capsys):
+        a = run(capsys, "resilience", "--trials", "5", "--seed", "4")
+        b = run(capsys, "resilience", "--trials", "5", "--seed", "4")
+        assert a == b
+
+    def test_storage_choice_changes_delta(self, capsys):
+        sd = run(capsys, "resilience", "--trials", "2", "--storage", "sd-card")
+        emmc = run(capsys, "resilience", "--trials", "2", "--storage", "emmc")
+        delta = lambda s: float(s.split("delta = ")[1].split(" s")[0])  # noqa: E731
+        assert delta(emmc) < delta(sd)
+
+    def test_resilience_trace_flag(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "res.json"
+        run(capsys, "resilience", "--trials", "3", "--trace", str(path))
+        doc = json.loads(path.read_text())
+        cats = {e["cat"] for e in doc["traceEvents"]}
+        assert "recovery" in cats
+
     def test_all_writes_artifacts(self, capsys, tmp_path):
         out = run(capsys, "all", "--outdir", str(tmp_path))
         assert out.count("wrote") >= 20

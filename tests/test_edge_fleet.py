@@ -65,3 +65,76 @@ class TestFleet:
             FleetConfig(transfer_value=1.5)
         with pytest.raises(PlanningError):
             FleetConfig(federation_period=-1)
+        with pytest.raises(PlanningError):
+            FleetConfig(crash_rate_per_day=1.0)
+        with pytest.raises(PlanningError):
+            FleetConfig(snapshot_period_days=0)
+        with pytest.raises(PlanningError):
+            FleetConfig(outage_days_mean=-0.5)
+
+
+class TestFleetFaults:
+    def test_happy_path_rng_stream_unchanged(self):
+        """crash_rate=0 must draw exactly the random stream the pre-fault
+        simulator drew: seeded happy-path results are frozen."""
+        res = simulate_fleet(cfg())
+        assert res.total_crashes == 0
+        assert res.total_lost_samples == 0.0
+        assert all(d.nodes_up == 8 for d in res.days)
+
+    def test_crashes_lose_work_and_rejoin(self):
+        res = simulate_fleet(
+            cfg(days=40, crash_rate_per_day=0.08, outage_days_mean=2.0)
+        )
+        assert res.total_crashes > 0
+        assert res.total_lost_samples > 0
+        assert sum(res.downtime_days) > 0
+        # nodes rejoin: the fleet is never permanently dark
+        assert res.days[-1].nodes_up > 0
+        assert len(res.crashes) == len(res.lost_samples) == 8
+
+    def test_graceful_degradation(self):
+        """Accuracy under faults degrades but does not collapse."""
+        happy = simulate_fleet(cfg(days=40))
+        faulty = simulate_fleet(cfg(days=40, crash_rate_per_day=0.08))
+        assert faulty.mean_final_accuracy <= happy.mean_final_accuracy
+        assert faulty.mean_final_accuracy > 0.5 * happy.mean_final_accuracy
+
+    def test_frequent_snapshots_bound_losses(self):
+        """Daily snapshots lose at most one day of harvest per crash;
+        sparse snapshots lose more."""
+        daily = simulate_fleet(
+            cfg(days=60, crash_rate_per_day=0.1, snapshot_period_days=1)
+        )
+        sparse = simulate_fleet(
+            cfg(days=60, crash_rate_per_day=0.1, snapshot_period_days=10)
+        )
+        assert daily.total_crashes > 0 and sparse.total_crashes > 0
+        assert (
+            sparse.total_lost_samples / sparse.total_crashes
+            > daily.total_lost_samples / daily.total_crashes
+        )
+
+    def test_deterministic_under_seed(self):
+        a = simulate_fleet(cfg(crash_rate_per_day=0.1, seed=5))
+        b = simulate_fleet(cfg(crash_rate_per_day=0.1, seed=5))
+        assert a.crashes == b.crashes
+        assert a.lost_samples == b.lost_samples
+        assert a.final_accuracies == b.final_accuracies
+
+    def test_zero_outage_rejoins_next_day(self):
+        res = simulate_fleet(
+            cfg(days=30, crash_rate_per_day=0.2, outage_days_mean=0.0)
+        )
+        assert res.total_crashes > 0
+        assert sum(res.downtime_days) == 0
+
+    def test_crash_events_traced(self):
+        from repro.obs import tracing
+
+        with tracing() as tracer:
+            res = simulate_fleet(cfg(days=40, crash_rate_per_day=0.1))
+        events = [e for e in tracer.events() if e.name == "node_crash"]
+        assert len(events) == res.total_crashes
+        assert all(e.category == "fault" for e in events)
+        assert {"day", "node", "lost_samples", "rejoin_day"} <= set(events[0].tags)
