@@ -22,6 +22,7 @@ Subpackages
 ``zoo``            ResNet-18/34/50/101/152, VGG, small test models
 ``memory``         accounting policies, scaling laws, paper calibration
 ``checkpointing``  Revolve, uniform, √l, heterogeneous DPs, planner
+``engine``         one schedule VM with sim / tensor / tiered backends
 ``autodiff``       real NumPy training with schedule-driven backprop
 ``edge``           device catalog, storage, epoch-time & duty-cycle sim
 ``studentteacher`` viewpoint world, teacher, tracker, harvesting, student
@@ -33,6 +34,7 @@ from . import (
     autodiff,
     checkpointing,
     edge,
+    engine,
     errors,
     experiments,
     graph,
@@ -50,6 +52,7 @@ __all__ = [
     "zoo",
     "memory",
     "checkpointing",
+    "engine",
     "autodiff",
     "edge",
     "studentteacher",

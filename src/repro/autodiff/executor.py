@@ -1,4 +1,4 @@
-"""Schedule-driven backpropagation on real tensors.
+"""Schedule-driven backpropagation on real tensors (engine facade).
 
 :func:`run_schedule` executes any :class:`~repro.checkpointing.Schedule`
 (Revolve, uniform, heterogeneous-DP, store-all) against a
@@ -9,6 +9,13 @@
 * ADJOINT replays the step's forward *inside* the layer's backward (the
   layers recompute their context from the stored input) and chains the
   gradient.
+
+The action interpreter lives in :mod:`repro.engine` — the same virtual
+machine that backs :func:`repro.checkpointing.simulate`, here driving a
+:class:`~repro.engine.tensor.TensorBackend`.  This module is the
+compatibility surface: unchanged signature, unchanged
+:class:`~repro.errors.ExecutionError` behavior, unchanged
+:class:`CheckpointedResult`.
 
 The result's gradients are **numerically identical** to the store-all
 reference (``SequentialNet.train_step``) — floating-point operations are
@@ -21,8 +28,8 @@ Every execution runs under the process tracer (:mod:`repro.obs`): one
 ``exec``-category span for the call, one ``action``-category span per
 schedule action (ADVANCE/SNAPSHOT/RESTORE/FREE/ADJOINT) with the
 :class:`~.meter.MemoryMeter` peaks attached as tags on the run span.
-With the default :class:`~repro.obs.NullTracer` the per-action cost is
-a single null check (``benchmarks/bench_obs_overhead.py`` pins ≤ 5%).
+With the default :class:`~repro.obs.NullTracer` the engine skips all
+per-step bookkeeping (``benchmarks/bench_engine.py`` pins ≤ 5%).
 """
 
 from __future__ import annotations
@@ -31,12 +38,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ExecutionError
-from ..checkpointing.actions import ActionKind
 from ..checkpointing.schedule import Schedule
 from ..obs import get_metrics, get_tracer
 from .loss import softmax_cross_entropy
-from .meter import MemoryMeter
 from .network import GradMap, SequentialNet
 
 __all__ = ["CheckpointedResult", "run_schedule"]
@@ -64,132 +68,49 @@ def run_schedule(
     x: np.ndarray,
     labels: np.ndarray,
     loss_fn=softmax_cross_entropy,
+    *,
+    on_step=None,
 ) -> CheckpointedResult:
     """Execute ``schedule`` to compute loss and gradients for one batch.
 
     Raises :class:`~repro.errors.ExecutionError` on schedule/network
-    length mismatch or invariant violations (same rules as the abstract
-    simulator, but on live tensors).
+    length mismatch or invariant violations (same rules — and, since the
+    unification, the same messages — as the abstract simulator, but on
+    live tensors).  ``on_step`` is an optional VM step callback invoked
+    with a :class:`~repro.engine.stats.StepStats` after every schedule
+    action.
     """
-    l = len(net)
-    if schedule.length != l:
-        raise ExecutionError(
-            f"schedule length {schedule.length} != network depth {l}"
-        )
+    # Imported lazily: repro.engine.tensor imports this package's leaves.
+    from ..engine.hooks import action_span_hook, compose
+    from ..engine.tensor import TensorBackend
+    from ..engine.vm import execute
+
     tracer = get_tracer()
-    traced = tracer.enabled  # hot loop pays only this null check when off
-    meter = MemoryMeter()
-    slots: dict[int, tuple[int, np.ndarray]] = {}  # slot -> (index, array)
-    cursor_idx = 0
-    cursor: np.ndarray = x
-    meter.hold("cursor", cursor)
-    pending = l
-    dy: np.ndarray | None = None
-    loss_value: float | None = None
-    grads: GradMap = {}
-    forward_steps = 0
-    replay_steps = 0
-    peak_slot_bytes = 0
-    t0 = 0.0
-
-    def _slot_bytes() -> int:
-        return sum(int(a.nbytes) for _, a in slots.values())
-
+    backend = TensorBackend(net, x, labels, loss_fn)
     with tracer.span(
         "run_schedule",
         category="exec",
         strategy=schedule.strategy,
-        length=l,
+        length=len(net),
         slots=schedule.slots,
     ) as run_span:
-        for pos, action in enumerate(schedule.actions):
-            kind = action.kind
-            if traced:
-                t0 = tracer.now()
-            if kind is ActionKind.ADVANCE:
-                to = action.arg
-                if not cursor_idx < to <= l:
-                    raise ExecutionError(f"action {pos}: ADVANCE {cursor_idx}->{to} invalid")
-                for i in range(cursor_idx, to):
-                    cursor = net.layers[i].forward(cursor)
-                    meter.hold("cursor", cursor)
-                    forward_steps += 1
-                cursor_idx = to
-            elif kind is ActionKind.SNAPSHOT:
-                if action.arg >= schedule.slots:
-                    raise ExecutionError(
-                        f"action {pos}: slot {action.arg} exceeds budget {schedule.slots}"
-                    )
-                slots[action.arg] = (cursor_idx, cursor)
-                meter.hold(f"slot{action.arg}", cursor)
-                peak_slot_bytes = max(peak_slot_bytes, _slot_bytes())
-            elif kind is ActionKind.RESTORE:
-                if action.arg not in slots:
-                    raise ExecutionError(f"action {pos}: RESTORE from empty slot {action.arg}")
-                cursor_idx, cursor = slots[action.arg]
-                meter.hold("cursor", cursor)
-            elif kind is ActionKind.FREE:
-                if action.arg not in slots:
-                    raise ExecutionError(f"action {pos}: FREE of empty slot {action.arg}")
-                del slots[action.arg]
-                meter.release(f"slot{action.arg}")
-            elif kind is ActionKind.ADJOINT:
-                step = action.arg
-                if step != pending:
-                    raise ExecutionError(
-                        f"action {pos}: ADJOINT({step}) out of order (pending {pending})"
-                    )
-                if cursor_idx != step - 1:
-                    raise ExecutionError(
-                        f"action {pos}: ADJOINT({step}) needs cursor at {step - 1}, "
-                        f"have {cursor_idx}"
-                    )
-                layer = net.layers[step - 1]
-                if step == l:
-                    # Head step: replay forward to get predictions, seed dy.
-                    y = layer.forward(cursor)
-                    meter.hold("head", y)
-                    loss_value, dy = loss_fn(y, labels)
-                    meter.release("head")
-                    meter.hold("grad", dy)
-                if dy is None:  # pragma: no cover - guarded by ordering check
-                    raise ExecutionError("gradient flow unseeded")
-                replay_steps += 1
-                dx, layer_grads = layer.backward(cursor, dy)
-                dy = dx
-                meter.hold("grad", dy)
-                for pname, g in layer_grads.items():
-                    grads[(layer.name, pname)] = g
-                pending -= 1
-            else:  # pragma: no cover - exhaustive
-                raise ExecutionError(f"unknown action kind {kind}")
-            if traced:
-                tracer.record(
-                    kind.name,
-                    "action",
-                    t0,
-                    arg=action.arg,
-                    pos=pos,
-                    live_bytes=meter.current_bytes,
-                )
-
-        if pending != 0:
-            raise ExecutionError(f"schedule left backward steps {pending}..1 undone")
-        assert loss_value is not None
-        run_span.set_tag("peak_bytes", meter.peak_bytes)
-        run_span.set_tag("peak_slot_bytes", peak_slot_bytes)
-        run_span.set_tag("forward_steps", forward_steps)
-        run_span.set_tag("replay_steps", replay_steps)
+        hook = compose(action_span_hook(tracer) if tracer.enabled else None, on_step)
+        run = execute(schedule, backend, on_step=hook)
+        assert backend.loss_value is not None
+        run_span.set_tag("peak_bytes", run.peak_bytes)
+        run_span.set_tag("peak_slot_bytes", run.peak_slot_bytes)
+        run_span.set_tag("forward_steps", run.forward_steps)
+        run_span.set_tag("replay_steps", run.replay_steps)
         m = get_metrics()
-        m.gauge("executor.peak_bytes").max(meter.peak_bytes)
-        m.gauge("executor.peak_slot_bytes").max(peak_slot_bytes)
-        m.counter("executor.replays").inc(replay_steps)
-        m.counter("executor.forward_steps").inc(forward_steps)
+        m.gauge("executor.peak_bytes").max(run.peak_bytes)
+        m.gauge("executor.peak_slot_bytes").max(run.peak_slot_bytes)
+        m.counter("executor.replays").inc(run.replay_steps)
+        m.counter("executor.forward_steps").inc(run.forward_steps)
     return CheckpointedResult(
-        loss=loss_value,
-        grads=grads,
-        peak_bytes=meter.peak_bytes,
-        peak_slot_bytes=peak_slot_bytes,
-        forward_steps=forward_steps,
-        replay_steps=replay_steps,
+        loss=backend.loss_value,
+        grads=backend.grads,
+        peak_bytes=run.peak_bytes,
+        peak_slot_bytes=run.peak_slot_bytes,
+        forward_steps=run.forward_steps,
+        replay_steps=run.replay_steps,
     )

@@ -172,13 +172,19 @@ class Trainer:
             if isinstance(layer, DropoutLayer):
                 layer.set_step(self._step)
 
-    def _compute(self, xb: np.ndarray, yb: np.ndarray, schedule: Schedule | None):
+    def _compute(
+        self,
+        xb: np.ndarray,
+        yb: np.ndarray,
+        schedule: Schedule | None,
+        on_action=None,
+    ):
         """One optimizer step's (loss, grads, peak), micro-batched if set."""
         micro = self.config.micro_batch_size
         if micro is None or micro >= len(xb):
             if schedule is None:
                 return self.net.train_step(xb, yb, self.loss_fn)
-            res = run_schedule(self.net, schedule, xb, yb, self.loss_fn)
+            res = run_schedule(self.net, schedule, xb, yb, self.loss_fn, on_step=on_action)
             return res.loss, res.grads, res.peak_bytes
         # Gradient accumulation: per-micro-batch mean losses/gradients are
         # recombined with n_i/N weights, reproducing the full-batch values.
@@ -192,7 +198,7 @@ class Trainer:
             if schedule is None:
                 loss, grads, p = self.net.train_step(xs, ys, self.loss_fn)
             else:
-                res = run_schedule(self.net, schedule, xs, ys, self.loss_fn)
+                res = run_schedule(self.net, schedule, xs, ys, self.loss_fn, on_step=on_action)
                 loss, grads, p = res.loss, res.grads, res.peak_bytes
             total_loss += w * loss
             peak = max(peak, p)
@@ -209,6 +215,7 @@ class Trainer:
         *,
         cursor: FitCursor | None = None,
         on_step=None,
+        on_action=None,
     ) -> list[EpochRecord]:
         """Train; returns (and appends to) the epoch history.
 
@@ -220,7 +227,11 @@ class Trainer:
         every optimizer step as ``on_step(cursor, loss)`` with the
         :class:`FitCursor` a resume should pass, and may raise (e.g.
         :class:`~repro.errors.FaultError` from a fault injector) to
-        abort the run.
+        abort the run.  ``on_action`` is a schedule-VM step callback
+        (:class:`~repro.engine.stats.StepStats` per executed action),
+        forwarded to the engine whenever a checkpoint schedule drives
+        the batch computation; with the store-all fast path (no
+        schedule) there are no actions and it is never called.
 
         Runs under the process tracer: one ``train``-category span for
         the fit, nested ``epoch``/``batch`` spans, and the shared
@@ -261,7 +272,9 @@ class Trainer:
                         with tracer.span(
                             "batch", category="batch", step=self._step, size=len(xb)
                         ) as b_span:
-                            loss, grads, step_peak = self._compute(xb, yb, schedule)
+                            loss, grads, step_peak = self._compute(
+                                xb, yb, schedule, on_action
+                            )
                             self.optimizer.step(grads)
                             b_span.set_tag("loss", loss)
                         metrics.counter("trainer.batches").inc()

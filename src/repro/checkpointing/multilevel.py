@@ -31,11 +31,10 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..errors import ScheduleError
-from .actions import Action, ActionKind, advance, free, restore, snapshot
+from .actions import Action, advance, free, restore, snapshot
 from .chainspec import ChainSpec
 from .revolve import _SplitFn, _emit_reverse, opt_forwards, revolve_schedule
 from .schedule import Schedule
-from .simulator import simulate
 
 __all__ = [
     "DISK_SLOT_BASE",
@@ -162,6 +161,10 @@ def disk_revolve_schedule(
         c_seg = min(c_eff, max(1, seg_len - 1))
         pool = list(range(1, c_seg))
         _emit_reverse(actions, base, seg_len, 0, pool, split_for)
+        # Release the segment base before the next segment re-parks its
+        # own base in slot 0 — the VM rejects SNAPSHOT into an occupied
+        # slot (FREE is costless, so the DP-cost identity is unchanged).
+        actions.append(free(0))
         actions.append(free(disk_slot))
 
     return Schedule(
@@ -192,53 +195,25 @@ class TieredStats:
 def simulate_tiered(schedule: Schedule, spec: ChainSpec | None = None) -> TieredStats:
     """Execute with per-tier accounting.
 
-    Validation (ordering, slot discipline, completeness) is delegated to
-    the flat :func:`~repro.checkpointing.simulator.simulate`; this wrapper
-    only re-walks the actions to split the accounting by tier.
+    One engine run on a :class:`~repro.engine.tiered.TieredBackend` (in
+    pure-counting mode — no storage profiles, so transfers are free):
+    the VM validates ordering, slot discipline and completeness while the
+    backend splits the accounting by tier.
     """
+    from ..engine.tiered import TieredBackend
+    from ..engine.vm import execute
+
     if spec is None:
         spec = ChainSpec.homogeneous(schedule.length)
-    flat = simulate(schedule, spec)  # raises on any invariant violation
-
-    mem: dict[int, int] = {}
-    disk: dict[int, int] = {}
-    cursor = 0
-    disk_writes = disk_reads = 0
-    peak_mem_slots = peak_disk_slots = 0
-    peak_mem_bytes = peak_disk_bytes = 0
-    for act in schedule.actions:
-        if act.kind is ActionKind.SNAPSHOT:
-            if act.arg >= DISK_SLOT_BASE:
-                disk[act.arg] = cursor
-                disk_writes += 1
-            else:
-                mem[act.arg] = cursor
-        elif act.kind is ActionKind.RESTORE:
-            if act.arg >= DISK_SLOT_BASE:
-                cursor = disk[act.arg]
-                disk_reads += 1
-            else:
-                cursor = mem[act.arg]
-        elif act.kind is ActionKind.FREE:
-            if act.arg >= DISK_SLOT_BASE:
-                del disk[act.arg]
-            else:
-                del mem[act.arg]
-        elif act.kind is ActionKind.ADVANCE:
-            cursor = act.arg
-        elif act.kind is ActionKind.ADJOINT:
-            cursor = act.arg - 1
-        peak_mem_slots = max(peak_mem_slots, len(mem))
-        peak_disk_slots = max(peak_disk_slots, len(disk))
-        peak_mem_bytes = max(peak_mem_bytes, sum(spec.act_bytes[i] for i in mem.values()))
-        peak_disk_bytes = max(peak_disk_bytes, sum(spec.act_bytes[i] for i in disk.values()))
-
+    run = execute(schedule, TieredBackend(spec))
+    mem = run.tier("memory")
+    disk = run.tier("disk")
     return TieredStats(
-        forward_steps=flat.forward_steps,
-        disk_writes=disk_writes,
-        disk_reads=disk_reads,
-        peak_memory_slots=peak_mem_slots,
-        peak_disk_slots=peak_disk_slots,
-        peak_memory_bytes=peak_mem_bytes,
-        peak_disk_bytes=peak_disk_bytes,
+        forward_steps=run.forward_steps,
+        disk_writes=disk.writes,
+        disk_reads=disk.reads,
+        peak_memory_slots=mem.peak_slots,
+        peak_disk_slots=disk.peak_slots,
+        peak_memory_bytes=mem.peak_bytes,
+        peak_disk_bytes=disk.peak_bytes,
     )

@@ -1,14 +1,21 @@
-"""Virtual machine that executes and validates checkpoint schedules.
+"""Analytic schedule execution and validation (engine facade).
 
-The simulator runs a :class:`~.schedule.Schedule` against a
+:func:`simulate` runs a :class:`~.schedule.Schedule` against a
 :class:`~.chainspec.ChainSpec` without any real tensors, enforcing every
-structural invariant (cursor preconditions, slot budget, backward order)
-and measuring exactly what the paper's analysis needs:
+structural invariant (cursor preconditions, slot budget and occupancy,
+backward order) and measuring exactly what the paper's analysis needs:
 
 * pure forward (ADVANCE) executions and their cost;
 * replayed forwards inside adjoints (one per step, Revolve convention);
 * peak checkpoint memory in bytes and in slots;
 * total time under the chain's cost model.
+
+The interpreter itself lives in :mod:`repro.engine` — this module is the
+compatibility surface: same signature, same
+:class:`~repro.errors.ExecutionError` behavior, same
+:class:`ExecutionStats` result as the original hand-rolled simulator,
+now produced by :func:`repro.engine.execute` on a
+:class:`~repro.engine.sim.SimBackend`.
 
 ``extra_forward_cost`` is measured against the mandatory work of a single
 forward sweep — the quantity the paper's recompute factor ρ prices:
@@ -17,11 +24,10 @@ forward sweep — the quantity the paper's recompute factor ρ prices:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import ExecutionError
 from ..obs import get_tracer
-from .actions import ActionKind
 from .chainspec import ChainSpec
 from .schedule import Schedule
 
@@ -90,149 +96,43 @@ class ExecutionStats:
         return self.effective_time(spec) / spec.baseline_time
 
 
-@dataclass
-class _Machine:
-    spec: ChainSpec
-    slot_budget: int
-    cursor: int | None = None
-    slots: dict[int, int] = field(default_factory=dict)
-    pending: int = 0  # next backward step to perform
-
-    def __post_init__(self) -> None:
-        self.pending = self.spec.length
-        # The chain input x_0 starts in the cursor (the batch just arrived).
-        self.cursor = 0
-
-
 def simulate(schedule: Schedule, spec: ChainSpec | None = None) -> ExecutionStats:
     """Execute ``schedule`` against ``spec`` and return measurements.
 
     Raises :class:`~repro.errors.ExecutionError` on any invariant
-    violation: advancing backwards, restoring an empty slot, exceeding the
-    slot budget, adjoints out of order, or finishing with backwards
-    pending.
+    violation: advancing backwards, restoring an empty slot, exceeding
+    the slot budget, snapshotting into an occupied slot, adjoints out of
+    order, or finishing with backwards pending.
     """
+    # Imported lazily: repro.engine builds on this package's leaf modules.
+    from ..engine.sim import SimBackend
+    from ..engine.vm import execute
+
     if spec is None:
         spec = ChainSpec.homogeneous(schedule.length)
-    if spec.length != schedule.length:
-        raise ExecutionError(
-            f"schedule length {schedule.length} != chain length {spec.length}"
-        )
     tracer = get_tracer()
-    traced = tracer.enabled
-    m = _Machine(spec=spec, slot_budget=schedule.slots)
-    l = spec.length
+    on_step = None
+    if tracer.enabled:
+        from ..engine.hooks import sim_event_hook
 
-    forward_steps = 0
-    forward_cost = 0.0
-    replay_steps = 0
-    replay_cost = 0.0
-    backward_cost = 0.0
-    executions = [0] * l
-    snapshots_taken = 0
-    restores = 0
-    peak_slot_bytes = 0
-    peak_bytes = 0
-    peak_slots = 0
-
-    def _charge() -> None:
-        nonlocal peak_slot_bytes, peak_bytes, peak_slots
-        slot_bytes = sum(spec.act_bytes[idx] for idx in m.slots.values())
-        cur_bytes = spec.act_bytes[m.cursor] if m.cursor is not None else 0
-        peak_slot_bytes = max(peak_slot_bytes, slot_bytes)
-        peak_bytes = max(peak_bytes, slot_bytes + cur_bytes)
-        peak_slots = max(peak_slots, len(m.slots))
-
-    _charge()
-    for pos, act in enumerate(schedule.actions):
-        kind = act.kind
-        if kind is ActionKind.ADVANCE:
-            if m.cursor is None:
-                raise ExecutionError(f"action {pos}: ADVANCE with empty cursor")
-            if not m.cursor < act.arg <= l:
-                raise ExecutionError(
-                    f"action {pos}: ADVANCE to {act.arg} from cursor {m.cursor} (l={l})"
-                )
-            for i in range(m.cursor, act.arg):
-                executions[i] += 1
-            forward_steps += act.arg - m.cursor
-            forward_cost += spec.advance_cost(m.cursor, act.arg)
-            m.cursor = act.arg
-        elif kind is ActionKind.SNAPSHOT:
-            if m.cursor is None:
-                raise ExecutionError(f"action {pos}: SNAPSHOT with empty cursor")
-            if act.arg >= schedule.slots:
-                raise ExecutionError(
-                    f"action {pos}: SNAPSHOT into slot {act.arg} exceeds budget "
-                    f"{schedule.slots}"
-                )
-            m.slots[act.arg] = m.cursor
-            snapshots_taken += 1
-        elif kind is ActionKind.RESTORE:
-            if act.arg not in m.slots:
-                raise ExecutionError(f"action {pos}: RESTORE from empty slot {act.arg}")
-            m.cursor = m.slots[act.arg]
-            restores += 1
-        elif kind is ActionKind.FREE:
-            if act.arg not in m.slots:
-                raise ExecutionError(f"action {pos}: FREE of empty slot {act.arg}")
-            del m.slots[act.arg]
-        elif kind is ActionKind.ADJOINT:
-            step = act.arg
-            if step != m.pending:
-                raise ExecutionError(
-                    f"action {pos}: ADJOINT({step}) but pending backward is {m.pending}"
-                )
-            if m.cursor != step - 1:
-                raise ExecutionError(
-                    f"action {pos}: ADJOINT({step}) requires cursor at {step - 1}, "
-                    f"cursor is {m.cursor}"
-                )
-            executions[step - 1] += 1
-            replay_steps += 1
-            replay_cost += spec.fwd_cost[step - 1]
-            backward_cost += spec.bwd_cost[step - 1]
-            m.pending -= 1
-        else:  # pragma: no cover - exhaustive enum
-            raise ExecutionError(f"action {pos}: unknown kind {kind}")
-        _charge()
-        if traced:
-            # Mirror the running ExecutionStats state per schedule step.
-            tracer.event(
-                kind.name,
-                category="sim",
-                pos=pos,
-                arg=act.arg,
-                cursor=m.cursor,
-                occupied_slots=len(m.slots),
-                forward_steps=forward_steps,
-                replay_steps=replay_steps,
-            )
-
-    if m.pending != 0:
-        raise ExecutionError(
-            f"schedule finished with backward steps {m.pending}..1 still pending"
-        )
-    if any(e < 1 for e in executions):
-        missing = [i + 1 for i, e in enumerate(executions) if e < 1]
-        raise ExecutionError(f"steps never executed forward: {missing}")
-
+        on_step = sim_event_hook(tracer)
+    run = execute(schedule, SimBackend(spec), on_step=on_step)
     stats = ExecutionStats(
-        strategy=schedule.strategy,
-        length=l,
-        forward_steps=forward_steps,
-        forward_cost=forward_cost,
-        replay_steps=replay_steps,
-        replay_cost=replay_cost,
-        backward_cost=backward_cost,
-        executions=tuple(executions),
-        peak_slot_bytes=peak_slot_bytes,
-        peak_bytes=peak_bytes,
-        peak_slots=peak_slots,
-        snapshots_taken=snapshots_taken,
-        restores=restores,
+        strategy=run.strategy,
+        length=run.length,
+        forward_steps=run.forward_steps,
+        forward_cost=run.forward_cost,
+        replay_steps=run.replay_steps,
+        replay_cost=run.replay_cost,
+        backward_cost=run.backward_cost,
+        executions=run.executions,
+        peak_slot_bytes=run.peak_slot_bytes,
+        peak_bytes=run.peak_bytes,
+        peak_slots=run.peak_slots,
+        snapshots_taken=run.snapshots_taken,
+        restores=run.restores,
     )
-    if traced:
+    if tracer.enabled:
         tracer.event(
             "simulated",
             category="sim",

@@ -13,10 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ExecutionError
-from .actions import ActionKind
 from .chainspec import ChainSpec
 from .schedule import Schedule
-from .simulator import simulate
 
 __all__ = ["TimelinePoint", "memory_timeline", "timeline_ascii"]
 
@@ -33,39 +31,32 @@ class TimelinePoint:
 
 
 def memory_timeline(schedule: Schedule, spec: ChainSpec | None = None) -> list[TimelinePoint]:
-    """Per-action live-byte trace (the schedule is validated first)."""
+    """Per-action live-byte trace (raises on invalid schedules).
+
+    One engine run with a collecting step callback — the VM validates
+    while the :class:`~repro.engine.sim.SimBackend` does the byte
+    accounting, so this stays consistent with :func:`~.simulator.simulate`
+    by construction.
+    """
+    from ..engine.sim import SimBackend
+    from ..engine.vm import execute
+
     if spec is None:
         spec = ChainSpec.homogeneous(schedule.length)
-    simulate(schedule, spec)  # raises on invalid schedules
-
-    slots: dict[int, int] = {}
-    cursor: int | None = 0
-    done = 0
     out: list[TimelinePoint] = []
-    for i, act in enumerate(schedule.actions):
-        if act.kind is ActionKind.SNAPSHOT:
-            assert cursor is not None
-            slots[act.arg] = cursor
-        elif act.kind is ActionKind.RESTORE:
-            cursor = slots[act.arg]
-        elif act.kind is ActionKind.FREE:
-            del slots[act.arg]
-        elif act.kind is ActionKind.ADVANCE:
-            cursor = act.arg
-        elif act.kind is ActionKind.ADJOINT:
-            cursor = act.arg - 1
-            done += 1
-        slot_bytes = sum(spec.act_bytes[idx] for idx in slots.values())
-        cur_bytes = spec.act_bytes[cursor] if cursor is not None else 0
+
+    def collect(step) -> None:
         out.append(
             TimelinePoint(
-                index=i,
-                kind=act.kind.value,
-                live_slot_bytes=slot_bytes,
-                live_bytes=slot_bytes + cur_bytes,
-                backwards_done=done,
+                index=step.pos,
+                kind=step.kind.value,
+                live_slot_bytes=step.slot_bytes,
+                live_bytes=step.live_bytes,
+                backwards_done=step.backwards_done,
             )
         )
+
+    execute(schedule, SimBackend(spec), on_step=collect)
     return out
 
 

@@ -7,6 +7,7 @@ Usage (also installed as the ``repro-edge`` console script)::
     python -m repro section5
     python -m repro figure1 [--panel a|b|c|d] [--source ours|paper] [--csv]
     python -m repro strategies [--length 24] [--budget 6]
+    python -m repro exec [--strategy disk_revolve --backend tiered --trace t.json]
     python -m repro ablation [--strategy revolve --strategy sqrt ...]
     python -m repro batch-tradeoff [--model 50] [--device ODROID-XU4]
     python -m repro viewpoint [--subjects 120]
@@ -95,6 +96,31 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--length", type=int, default=152)
     sp.add_argument("--mem-slots", type=int, default=3)
     sp.add_argument("--disk-cost", type=float, default=1.0, help="I/O cost in forward units")
+
+    sp = sub.add_parser(
+        "exec",
+        help="execute a strategy's schedule on an engine backend (sim/tensor/tiered)",
+    )
+    sp.add_argument("--strategy", choices=available_strategies(), default="revolve")
+    sp.add_argument("--length", type=int, default=24, help="chain length l")
+    sp.add_argument("--slots", type=int, default=4, help="checkpoint slot budget c")
+    sp.add_argument(
+        "--backend",
+        choices=("sim", "tensor", "tiered"),
+        default="sim",
+        help="engine backend: analytic, real tensors, or tiered storage",
+    )
+    sp.add_argument(
+        "--act-kb", type=float, default=256.0, help="per-activation kB (sim/tiered accounting)"
+    )
+    sp.add_argument(
+        "--storage",
+        choices=("sd-card", "emmc"),
+        default="sd-card",
+        help="disk-tier storage profile (tiered backend)",
+    )
+    sp.add_argument("--seed", type=int, default=0, help="net/batch seed (tensor backend)")
+    sp.add_argument("--trace", metavar="FILE", help="write a Chrome-trace of the run to FILE")
 
     sp = sub.add_parser("campaign", help="in-situ adaptation campaign simulation")
     sp.add_argument("--crossings", type=float, default=60.0)
@@ -294,6 +320,89 @@ def _disk_revolve(args: argparse.Namespace) -> str:
         f"  peak memory slots        : {st.peak_memory_slots}\n"
         f"  pure forward steps       : {st.forward_steps}"
     )
+
+
+def _exec(args: argparse.Namespace) -> str:
+    """Run one strategy's schedule through a chosen engine backend."""
+    from .checkpointing import ChainSpec
+    from .engine import (
+        SimBackend,
+        TieredBackend,
+        action_span_hook,
+        execute,
+        sim_event_hook,
+    )
+    from .units import KB
+
+    strat = get_strategy(args.strategy)
+    l, c = args.length, args.slots
+    if not strat.feasible(l, c):
+        return f"strategy {args.strategy!r} cannot reverse l={l} within {c} slots"
+    sch = strat.schedule(l, c)
+    header = (
+        f"Engine run: strategy={sch.strategy} l={l} slots={c} "
+        f"backend={args.backend}"
+    )
+
+    if args.backend == "tensor":
+        import numpy as np
+
+        from .autodiff import DenseLayer, ReLULayer, SequentialNet, gaussian_blobs
+        from .autodiff.executor import run_schedule
+
+        rng = np.random.default_rng(args.seed)
+        layers = []
+        prev = 6
+        for i in range(l - 1):
+            if i % 2 == 0:
+                layers.append(DenseLayer(prev, 8, rng, name=f"fc{i}"))
+                prev = 8
+            else:
+                layers.append(ReLULayer(name=f"r{i}"))
+        layers.append(DenseLayer(prev, 3, rng, name="head"))
+        net = SequentialNet(layers, name="exec-probe")
+        data = gaussian_blobs(16, 3, 6, rng)
+        res = run_schedule(net, sch, data.x, data.y)
+        return "\n".join(
+            [
+                header,
+                f"  loss              : {res.loss:.4f}",
+                f"  forward steps     : {res.forward_steps} "
+                f"(+{res.replay_steps} adjoint replays)",
+                f"  peak live bytes   : {res.peak_bytes:,} "
+                f"({res.peak_slot_bytes:,} in slots)",
+            ]
+        )
+
+    spec = ChainSpec.homogeneous(l, act_bytes=int(args.act_kb * KB))
+    tracer = obs.get_tracer()
+    if args.backend == "sim":
+        backend = SimBackend(spec)
+        hook = sim_event_hook(tracer) if tracer.enabled else None
+    else:
+        from .edge.storage import EMMC, SD_CARD
+
+        storage = {"sd-card": SD_CARD, "emmc": EMMC}[args.storage]
+        backend = TieredBackend(spec, disk=storage)
+        hook = action_span_hook(tracer) if tracer.enabled else None
+    run = execute(sch, backend, on_step=hook)
+    lines = [
+        header,
+        f"  forward steps     : {run.forward_steps} (cost {run.forward_cost:g})",
+        f"  adjoint replays   : {run.replay_steps}",
+        f"  peak slots        : {run.peak_slots}, peak bytes {run.peak_bytes:,}",
+        f"  snapshots/restores: {run.snapshots_taken}/{run.restores}",
+    ]
+    if run.tiers:
+        lines.append(f"  transfer time     : {run.transfer_seconds:.3f} s")
+        for t in run.tiers:
+            priced = "" if t.name == "memory" else f" [{args.storage}]"
+            lines.append(
+                f"    {t.name:<6} tier: {t.writes} writes / {t.reads} reads, "
+                f"{t.transfer_seconds:.3f} s, peak {t.peak_slots} slots "
+                f"({t.peak_bytes:,} B){priced}"
+            )
+    return "\n".join(lines)
 
 
 def _campaign(args: argparse.Namespace) -> str:
@@ -595,6 +704,7 @@ _HANDLERS = {
     "profile": _profile,
     "pareto": _pareto,
     "disk-revolve": _disk_revolve,
+    "exec": _exec,
     "campaign": _campaign,
     "fleet": _fleet,
     "resilience": _resilience,

@@ -73,28 +73,46 @@ class ImageStore:
 
 @dataclass(frozen=True)
 class StorageProfile:
-    """Write-path cost model of on-node flash storage.
+    """Read/write cost model of on-node flash storage.
 
     ``write_seconds`` is the Young/Daly δ for a payload of that size:
     a fixed per-operation latency (filesystem metadata, erase blocks)
-    plus the bandwidth-limited transfer.
+    plus the bandwidth-limited transfer.  The read path (used when the
+    tiered execution engine restores a checkpoint from this medium)
+    defaults to mirroring the write path unless given explicitly.
     """
 
     name: str = "sd-card"
     write_bytes_per_s: float = 10.0 * MB
     write_latency_s: float = 0.01
+    #: read bandwidth; ``None`` mirrors the write bandwidth
+    read_bytes_per_s: float | None = None
+    #: per-operation read latency; ``None`` mirrors the write latency
+    read_latency_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.write_bytes_per_s <= 0:
             raise ValueError("write bandwidth must be positive")
         if self.write_latency_s < 0:
             raise ValueError("write latency must be non-negative")
+        if self.read_bytes_per_s is not None and self.read_bytes_per_s <= 0:
+            raise ValueError("read bandwidth must be positive")
+        if self.read_latency_s is not None and self.read_latency_s < 0:
+            raise ValueError("read latency must be non-negative")
 
     def write_seconds(self, n_bytes: int) -> float:
         """Seconds to durably write ``n_bytes``."""
         if n_bytes < 0:
             raise ValueError("byte count must be non-negative")
         return self.write_latency_s + n_bytes / self.write_bytes_per_s
+
+    def read_seconds(self, n_bytes: int) -> float:
+        """Seconds to read ``n_bytes`` back."""
+        if n_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        latency = self.read_latency_s if self.read_latency_s is not None else self.write_latency_s
+        bw = self.read_bytes_per_s if self.read_bytes_per_s is not None else self.write_bytes_per_s
+        return latency + n_bytes / bw
 
 
 #: A commodity class-10 SD card — the Array-of-Things storage medium.

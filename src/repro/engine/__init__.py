@@ -1,0 +1,43 @@
+"""The unified schedule execution engine.
+
+One virtual machine (:func:`execute`) interprets checkpoint schedules
+for *every* consumer — the analytic simulator, the real-tensor executor
+and the tiered-storage model — through a pluggable
+:class:`~repro.engine.backend.Backend`:
+
+* :class:`SimBackend` — ChainSpec cost accounting (no tensors);
+* :class:`TensorBackend` — real ``SequentialNet`` forwards/adjoints with
+  a live-byte meter;
+* :class:`TieredBackend` — RAM + disk slot tiers priced by
+  :class:`~repro.edge.storage.StorageProfile` read/write paths.
+
+The VM owns all invariants and emits unified
+:class:`~repro.engine.stats.StepStats` / :class:`~repro.engine.stats.RunStats`;
+:mod:`repro.engine.hooks` builds the standard trace observers.  The
+historical entry points :func:`repro.checkpointing.simulate` and
+:func:`repro.autodiff.run_schedule` remain as thin compatibility
+wrappers over this engine.
+"""
+
+from .backend import Backend, BaseBackend
+from .hooks import action_span_hook, compose, sim_event_hook
+from .sim import SimBackend
+from .stats import RunStats, StepStats, TierStats
+from .tensor import TensorBackend
+from .tiered import TieredBackend
+from .vm import execute
+
+__all__ = [
+    "Backend",
+    "BaseBackend",
+    "RunStats",
+    "StepStats",
+    "TierStats",
+    "SimBackend",
+    "TensorBackend",
+    "TieredBackend",
+    "execute",
+    "compose",
+    "action_span_hook",
+    "sim_event_hook",
+]

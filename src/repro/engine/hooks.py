@@ -1,0 +1,84 @@
+"""Step-callback utilities for the schedule VM.
+
+The VM reports progress through a single ``on_step`` callback; these
+helpers build the standard observers — the executor's per-action trace
+spans, the simulator's per-action trace events — and compose several
+observers into one, so callers (trainer instrumentation, resilience
+snapshot plumbing, timelines) attach behavior without the VM growing a
+second dispatch path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..obs.tracer import Tracer
+from .stats import StepStats
+
+__all__ = ["compose", "action_span_hook", "sim_event_hook"]
+
+StepHook = Callable[[StepStats], None]
+
+
+def compose(*hooks: Callable | None) -> Callable | None:
+    """One hook calling each given hook in order; ``None``s are skipped.
+
+    Returns ``None`` when nothing remains, so an unobserved run keeps
+    the VM's zero-overhead fast path.  Arity-agnostic: works for VM
+    step callbacks (one :class:`StepStats` argument) and for trainer
+    ``on_step(cursor, loss)`` hooks alike.
+    """
+    live = [h for h in hooks if h is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def fan_out(*args) -> None:
+        for h in live:
+            h(*args)
+
+    return fan_out
+
+
+def action_span_hook(tracer: Tracer) -> StepHook:
+    """Per-action ``action``-category spans (the tensor executor's shape).
+
+    Each schedule action becomes one completed span named after its kind,
+    spanning the time the action took, tagged with the live-byte level —
+    exactly what ``autodiff.run_schedule`` always recorded.
+    """
+
+    def hook(step: StepStats) -> None:
+        tracer.record(
+            step.kind.name,
+            "action",
+            step.started,
+            arg=step.arg,
+            pos=step.pos,
+            live_bytes=step.live_bytes,
+        )
+
+    return hook
+
+
+def sim_event_hook(tracer: Tracer) -> StepHook:
+    """Per-action ``sim``-category events (the simulator's shape).
+
+    Mirrors the running counters after every schedule step, as
+    ``checkpointing.simulate`` always emitted.
+    """
+
+    def hook(step: StepStats) -> None:
+        tracer.event(
+            step.kind.name,
+            category="sim",
+            pos=step.pos,
+            arg=step.arg,
+            cursor=step.cursor,
+            occupied_slots=step.occupied_slots,
+            forward_steps=step.forward_steps,
+            replay_steps=step.replay_steps,
+        )
+
+    return hook

@@ -1,0 +1,111 @@
+"""Unified measurements emitted by the schedule virtual machine.
+
+One step record (:class:`StepStats`) per executed action, one aggregate
+(:class:`RunStats`) per run — shared by every backend, so the simulator's
+analytic accounting, the tensor executor's live-byte metering and the
+tiered-storage transfer costs all come out in the same shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..checkpointing.actions import ActionKind
+
+__all__ = ["StepStats", "TierStats", "RunStats"]
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """VM state right after one schedule action.
+
+    Delivered to the ``on_step`` callback of
+    :func:`~repro.engine.vm.execute`; construction is skipped entirely
+    when no callback is registered, so the hot loop pays nothing.
+    """
+
+    #: action index within the schedule
+    pos: int
+    kind: ActionKind
+    arg: int
+    #: activation index held by the cursor after the action
+    cursor: int
+    occupied_slots: int
+    #: running pure-forward step count (sum of ADVANCE lengths so far)
+    forward_steps: int
+    #: running adjoint-replay count
+    replay_steps: int
+    #: backward steps completed so far
+    backwards_done: int
+    #: bytes currently held in checkpoint slots (backend accounting)
+    slot_bytes: int
+    #: total live bytes (slots + cursor, plus gradients where real)
+    live_bytes: int
+    #: storage transfer seconds charged by this action (tiered backends)
+    transfer_seconds: float
+    #: monotonic clock reading taken just before the action executed
+    started: float
+
+
+@dataclass(frozen=True)
+class TierStats:
+    """Per-storage-tier ledger of an executed schedule."""
+
+    name: str
+    writes: int
+    reads: int
+    write_seconds: float
+    read_seconds: float
+    peak_slots: int
+    peak_bytes: int
+
+    @property
+    def transfer_seconds(self) -> float:
+        """Total time spent moving checkpoints through this tier."""
+        return self.write_seconds + self.read_seconds
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Aggregate outcome of executing one schedule on one backend."""
+
+    strategy: str
+    length: int
+    #: pure forward step executions (sum of ADVANCE lengths)
+    forward_steps: int
+    forward_cost: float
+    #: forwards replayed inside adjoints (== length under Revolve semantics)
+    replay_steps: int
+    replay_cost: float
+    backward_cost: float
+    #: per-step forward execution counts, index i-1 -> executions of F_i
+    executions: tuple[int, ...]
+    #: peak bytes held in checkpoint slots (excluding the cursor)
+    peak_slot_bytes: int
+    #: peak bytes including the cursor's activation (and live gradients
+    #: for tensor backends)
+    peak_bytes: int
+    #: maximum number of simultaneously occupied slots
+    peak_slots: int
+    snapshots_taken: int
+    restores: int
+    #: total storage transfer seconds (zero for untired backends)
+    transfer_seconds: float = 0.0
+    #: per-tier breakdown, empty unless the backend is tier-aware
+    tiers: tuple[TierStats, ...] = ()
+
+    @property
+    def total_time(self) -> float:
+        """Raw machine time: every advance, replay and backward charged."""
+        return self.forward_cost + self.replay_cost + self.backward_cost
+
+    @property
+    def total_forward_executions(self) -> int:
+        return self.forward_steps + self.replay_steps
+
+    def tier(self, name: str) -> TierStats:
+        """The ledger of one storage tier, by name."""
+        for t in self.tiers:
+            if t.name == name:
+                return t
+        raise KeyError(f"no tier {name!r}; have {[t.name for t in self.tiers]}")

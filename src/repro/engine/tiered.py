@@ -1,0 +1,119 @@
+"""Two-tier (memory + disk) backend with per-tier transfer costs.
+
+Extends :class:`~repro.engine.sim.SimBackend` with a storage ledger per
+tier: slot ids at or above ``disk_slot_base`` (the
+:data:`~repro.checkpointing.multilevel.DISK_SLOT_BASE` convention) live
+on the disk tier, the rest in RAM.  Each tier may carry a
+:class:`~repro.edge.storage.StorageProfile` pricing its read/write path
+in seconds; a tier without a profile moves checkpoints for free (the
+pure-counting mode :func:`~repro.checkpointing.simulate_tiered` uses).
+This is what lets a ``disk_revolve`` schedule *execute* — not just be
+planned — with measured SD-card/eMMC transfer time in the resulting
+:class:`~repro.engine.stats.RunStats`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..checkpointing.chainspec import ChainSpec
+from ..checkpointing.multilevel import DISK_SLOT_BASE
+from .sim import SimBackend
+from .stats import TierStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..edge.storage import StorageProfile
+
+__all__ = ["TieredBackend"]
+
+
+class _TierLedger:
+    """Mutable per-tier accounting; frozen into a TierStats at the end."""
+
+    def __init__(self, name: str, profile: "StorageProfile | None") -> None:
+        self.name = name
+        self.profile = profile
+        self.slots: dict[int, int] = {}
+        self.writes = 0
+        self.reads = 0
+        self.write_seconds = 0.0
+        self.read_seconds = 0.0
+        self.peak_slots = 0
+        self.peak_bytes = 0
+
+    def charge(self, spec: ChainSpec) -> None:
+        if len(self.slots) > self.peak_slots:
+            self.peak_slots = len(self.slots)
+        held = sum(spec.act_bytes[i] for i in self.slots.values())
+        if held > self.peak_bytes:
+            self.peak_bytes = held
+
+    def stats(self) -> TierStats:
+        return TierStats(
+            name=self.name,
+            writes=self.writes,
+            reads=self.reads,
+            write_seconds=self.write_seconds,
+            read_seconds=self.read_seconds,
+            peak_slots=self.peak_slots,
+            peak_bytes=self.peak_bytes,
+        )
+
+
+class TieredBackend(SimBackend):
+    """SimBackend plus a RAM/disk split with priced transfers."""
+
+    def __init__(
+        self,
+        spec: ChainSpec,
+        *,
+        memory: "StorageProfile | None" = None,
+        disk: "StorageProfile | None" = None,
+        disk_slot_base: int = DISK_SLOT_BASE,
+    ) -> None:
+        super().__init__(spec)
+        self._base = disk_slot_base
+        self._memory_profile = memory
+        self._disk_profile = disk
+        self._mem = _TierLedger("memory", memory)
+        self._disk = _TierLedger("disk", disk)
+
+    def begin(self) -> None:
+        super().begin()
+        self._mem = _TierLedger("memory", self._memory_profile)
+        self._disk = _TierLedger("disk", self._disk_profile)
+
+    def _tier(self, slot: int) -> _TierLedger:
+        return self._disk if slot >= self._base else self._mem
+
+    def snapshot(self, slot: int, index: int) -> float:
+        super().snapshot(slot, index)
+        tier = self._tier(slot)
+        tier.slots[slot] = index
+        tier.writes += 1
+        cost = 0.0
+        if tier.profile is not None:
+            cost = tier.profile.write_seconds(self.spec.act_bytes[index])
+            tier.write_seconds += cost
+        tier.charge(self.spec)
+        return cost
+
+    def restore(self, slot: int, index: int) -> float:
+        super().restore(slot, index)
+        tier = self._tier(slot)
+        tier.reads += 1
+        cost = 0.0
+        if tier.profile is not None:
+            cost = tier.profile.read_seconds(self.spec.act_bytes[index])
+            tier.read_seconds += cost
+        return cost
+
+    def free(self, slot: int, index: int) -> float:
+        super().free(slot, index)
+        tier = self._tier(slot)
+        del tier.slots[slot]
+        tier.charge(self.spec)
+        return 0.0
+
+    def tier_stats(self) -> tuple[TierStats, ...]:
+        return (self._mem.stats(), self._disk.stats())

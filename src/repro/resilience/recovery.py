@@ -30,6 +30,7 @@ import numpy as np
 from ..autodiff.data import Dataset
 from ..autodiff.trainer import EpochRecord, FitCursor, Trainer
 from ..edge.simulator import DutyCycleSimulator
+from ..engine.hooks import compose
 from ..errors import FaultError, PlanningError
 from ..obs import get_metrics, get_tracer
 from .faults import FaultInjector, FaultModel, TransientDiskFaults
@@ -83,13 +84,15 @@ def fit_with_recovery(
 
     A step-0 snapshot is taken up front (so a crash before the first
     policy-due write rolls back to a well-defined state), then
-    ``trainer.fit`` runs with an ``on_step`` hook that first lets the
-    ``injector`` strike and then, if the ``policy`` says a write is
-    due, captures a snapshot — optionally persisted durably to
-    ``snapshot_path`` and optionally subject to transient
-    ``disk_faults`` (a failed write keeps the previous snapshot).  On
-    :class:`~repro.errors.FaultError` the trainer is restored from the
-    latest surviving snapshot and resumed from its cursor.
+    ``trainer.fit`` runs with an ``on_step`` hook composed — via the
+    engine's :func:`~repro.engine.hooks.compose` utility — from three
+    independent step callbacks: a progress marker, the ``injector``
+    strike check, and the policy-driven snapshot capture (optionally
+    persisted durably to ``snapshot_path`` and optionally subject to
+    transient ``disk_faults``; a failed write keeps the previous
+    snapshot).  On :class:`~repro.errors.FaultError` the trainer is
+    restored from the latest surviving snapshot and resumed from its
+    cursor.
 
     Raises :class:`~repro.errors.PlanningError` after ``max_faults``
     crashes (a fault schedule denser than progress would loop forever).
@@ -104,24 +107,33 @@ def fit_with_recovery(
     counts = {"faults": 0, "restores": 0, "snapshots": 1, "write_failures": 0, "lost": 0}
     state = {"latest": latest, "final_step": 0}
 
-    def on_step(cursor: FitCursor, loss: float) -> None:
+    def mark_progress(cursor: FitCursor, loss: float) -> None:
         state["final_step"] = cursor.step
+
+    def strike(cursor: FitCursor, loss: float) -> None:
         if injector is not None:
             injector.check(cursor.step)
-        if policy.due(cursor.step, state["latest"].cursor.step):
-            if disk_faults is not None and disk_faults.write_fails(disk_rng):
-                counts["write_failures"] += 1
-                metrics.counter("resilience.snapshot_write_failures").inc()
-                if tracer.enabled:
-                    tracer.event(
-                        "snapshot_write_failed", category="fault", step=cursor.step
-                    )
-                return
-            snap = capture_snapshot(trainer, cursor)
-            if snapshot_path is not None:
-                write_snapshot(snapshot_path, snap)
-            state["latest"] = snap
-            counts["snapshots"] += 1
+
+    def snapshot_if_due(cursor: FitCursor, loss: float) -> None:
+        if not policy.due(cursor.step, state["latest"].cursor.step):
+            return
+        if disk_faults is not None and disk_faults.write_fails(disk_rng):
+            counts["write_failures"] += 1
+            metrics.counter("resilience.snapshot_write_failures").inc()
+            if tracer.enabled:
+                tracer.event(
+                    "snapshot_write_failed", category="fault", step=cursor.step
+                )
+            return
+        snap = capture_snapshot(trainer, cursor)
+        if snapshot_path is not None:
+            write_snapshot(snapshot_path, snap)
+        state["latest"] = snap
+        counts["snapshots"] += 1
+
+    # Ordering matters: the injector must see the step *before* a
+    # snapshot could cover it, preserving the crash->rollback semantics.
+    on_step = compose(mark_progress, strike, snapshot_if_due)
 
     with tracer.span("fit_with_recovery", category="recovery") as span:
         cursor: FitCursor | None = None

@@ -274,3 +274,57 @@ class TestTrace:
         doc = json.loads(path.read_text())
         cats = {e["cat"] for e in doc["traceEvents"]}
         assert {"campaign", "stage"} <= cats
+
+
+class TestExecCommand:
+    def test_sim_backend_default(self, capsys):
+        out = run(capsys, "exec", "--strategy", "revolve", "--length", "12", "--slots", "3")
+        assert "backend=sim" in out
+        assert "forward steps" in out
+        assert "peak slots        : 3" in out
+
+    def test_tensor_backend_reports_loss(self, capsys):
+        out = run(capsys, "exec", "--backend", "tensor", "--length", "6", "--slots", "2")
+        assert "backend=tensor" in out
+        assert "loss" in out
+        assert "peak live bytes" in out
+
+    def test_tiered_backend_reports_per_tier_costs(self, capsys):
+        out = run(
+            capsys, "exec", "--strategy", "disk_revolve", "--backend", "tiered",
+            "--length", "20", "--slots", "2", "--storage", "emmc",
+        )
+        assert "backend=tiered" in out
+        assert "transfer time" in out
+        assert "memory tier:" in out
+        assert "disk   tier:" in out
+        assert "[emmc]" in out
+
+    def test_infeasible_strategy_reports_cleanly(self, capsys):
+        out = run(capsys, "exec", "--strategy", "store_all", "--length", "10", "--slots", "2")
+        assert "cannot reverse l=10 within 2 slots" in out
+
+    def test_trace_flag_writes_action_spans(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "exec.json"
+        out = run(
+            capsys, "exec", "--strategy", "disk_revolve", "--backend", "tiered",
+            "--length", "20", "--slots", "2", "--trace", str(path),
+        )
+        assert "trace written to" in out
+        doc = json.loads(path.read_text())
+        actions = [e for e in doc["traceEvents"] if e["cat"] == "action"]
+        assert actions
+        kinds = {e["name"] for e in actions}
+        assert {"ADVANCE", "SNAPSHOT", "RESTORE", "ADJOINT"} <= kinds
+
+    def test_sim_backend_trace_uses_sim_events(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sim.json"
+        run(capsys, "exec", "--strategy", "revolve", "--length", "12", "--slots", "3",
+            "--trace", str(path))
+        doc = json.loads(path.read_text())
+        cats = {e["cat"] for e in doc["traceEvents"]}
+        assert "sim" in cats
