@@ -1,0 +1,86 @@
+"""Lab pipeline benchmark: warm-vs-cold `all` and serial-vs-parallel cold.
+
+Two claims the cache and runner must hold:
+
+* a warm ``all`` (everything cached, manifests valid) costs at most
+  0.1x the cold run — the fast path validates manifests without
+  loading, rendering or writing anything;
+* on a multi-core box, a cold run with ``--jobs 4`` beats serial on a
+  compute-heavy unit batch (wave-parallel over the process pool).
+
+Writes ``benchmarks/out/lab.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import lab
+
+import repro.experiments  # noqa: F401  (registers the paper's specs)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def _heavy_units() -> list[lab.Unit]:
+    """Independent compute-heavy ablation grids, disjoint from defaults."""
+    return [
+        lab.Unit("ablation", {"lengths": (length,), "slot_budgets": (3, 5, 8, 13)})
+        for length in (160, 200, 240, 280)
+    ]
+
+
+def test_warm_all_is_near_free(tmp_path, outdir):
+    store = lab.ArtifactStore(tmp_path / "all")
+    units = lab.default_units()
+
+    cold_s, cold = _timed(lambda: lab.run_units(units, store))
+    assert cold.misses == len(cold.outcomes) and cold.hits == 0
+
+    warm_s, warm = _timed(lambda: lab.run_units(units, store))
+    assert warm.misses == 0 and warm.hits == len(warm.outcomes)
+
+    ratio = warm_s / cold_s
+    assert ratio <= 0.1, f"warm all took {ratio:.1%} of cold ({warm_s:.3f}s/{cold_s:.3f}s)"
+
+    lines = [
+        f"cold all : {cold_s:8.3f} s  ({cold.summary_line()})",
+        f"warm all : {warm_s:8.3f} s  ({warm.summary_line()})",
+        f"warm/cold: {ratio:8.1%}  (budget: <= 10%)",
+    ]
+
+    from repro.checkpointing import clear_schedule_cache
+
+    cores = os.cpu_count() or 1
+    # untimed warmup: the first heavy run pays one-off costs (planner
+    # memoization, numpy setup) that neither timed run should carry
+    lab.run_units(_heavy_units())
+    # clear the memoized schedule cache before each timed run: forked
+    # pool workers inherit it, which would let the parallel run coast on
+    # schedules the serial run already computed
+    clear_schedule_cache()
+    serial_s, serial = _timed(
+        lambda: lab.run_units(_heavy_units(), lab.ArtifactStore(tmp_path / "s"), jobs=1)
+    )
+    clear_schedule_cache()
+    par_s, par = _timed(
+        lambda: lab.run_units(_heavy_units(), lab.ArtifactStore(tmp_path / "p"), jobs=4)
+    )
+    assert serial.computed == par.computed == 4
+    speedup = serial_s / par_s
+    lines += [
+        f"heavy x4 serial : {serial_s:8.3f} s",
+        f"heavy x4 jobs=4 : {par_s:8.3f} s",
+        f"speedup         : {speedup:8.2f}x  ({cores} cores)",
+    ]
+    if cores >= 2:
+        assert speedup > 1.0, f"no cold --jobs speedup on {cores} cores: {speedup:.2f}x"
+
+    text = "\n".join(lines)
+    print("\n" + text)
+    (outdir / "lab.txt").write_text(text + "\n")

@@ -27,6 +27,7 @@ Subpackages
 ``edge``           device catalog, storage, epoch-time & duty-cycle sim
 ``studentteacher`` viewpoint world, teacher, tracker, harvesting, student
 ``experiments``    regenerators for every table and figure in the paper
+``lab``            declarative experiment registry, artifact cache, runner
 ``obs``            unified tracing/metrics layer with Chrome-trace export
 """
 
@@ -38,6 +39,7 @@ from . import (
     errors,
     experiments,
     graph,
+    lab,
     memory,
     obs,
     studentteacher,
@@ -57,6 +59,7 @@ __all__ = [
     "edge",
     "studentteacher",
     "experiments",
+    "lab",
     "obs",
     "units",
     "errors",

@@ -1,50 +1,78 @@
 """Command-line regeneration of every paper artifact.
 
-Usage (also installed as the ``repro-edge`` console script)::
+Usage (installed as both the ``repro-edge`` and ``repro`` scripts)::
 
-    python -m repro table1 [--source ours|paper] [--csv]
-    python -m repro table2 | table3
-    python -m repro section5
-    python -m repro figure1 [--panel a|b|c|d] [--source ours|paper] [--csv]
-    python -m repro strategies [--length 24] [--budget 6]
-    python -m repro exec [--strategy disk_revolve --backend tiered --trace t.json]
-    python -m repro ablation [--strategy revolve --strategy sqrt ...]
-    python -m repro batch-tradeoff [--model 50] [--device ODROID-XU4]
-    python -m repro viewpoint [--subjects 120]
-    python -m repro summary
-    python -m repro trace figure1 --out trace.json   # any command, traced
-    python -m repro ablation --trace ablation.json   # per-command flag
+    repro-edge table1 [--source ours|paper] [--csv | --compare]
+    repro-edge table2 | table3 | section5 | sensitivity | extended
+    repro-edge figure1 [--panel a|b|c|d] [--source ours|paper] [--csv]
+    repro-edge ablation [--strategy revolve --strategy sqrt ...]
+    repro-edge list                         # registered experiment specs
+    repro-edge show figure1                 # params, renderers, cache key
+    repro-edge run figure1 --param panel=d --format csv
+    repro-edge all --jobs 4 [--force] [--manifest-check]
+    repro-edge summary
+    repro-edge strategies [--length 24] [--budget 6]
+    repro-edge exec [--strategy disk_revolve --backend tiered --trace t.json]
+    repro-edge batch-tradeoff [--model 50] [--device ODROID-XU4]
+    repro-edge viewpoint [--subjects 120]
+    repro-edge trace figure1 --out trace.json   # any command, traced
 
-``trace`` wraps any other subcommand in the :mod:`repro.obs` tracer and
-writes the exported trace (Chrome ``trace_event`` JSON by default —
-open it in chrome://tracing or https://ui.perfetto.dev).
+Experiment subcommands (``table1`` ... ``summary``) are generated from
+the :mod:`repro.lab` registry: each registered spec becomes a command
+whose flags mirror the spec's typed params.  ``all`` runs every default
+unit through the content-addressed artifact cache — a second run into
+the same ``--outdir`` recomputes nothing — and ``trace`` wraps any
+other subcommand in the :mod:`repro.obs` tracer and writes the
+exported trace (Chrome ``trace_event`` JSON by default — open it in
+chrome://tracing or https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from . import obs
+from . import lab, obs
 from .checkpointing import available_strategies, get_strategy, schedule_cache_info
 from .edge import DEVICE_CATALOG, ODROID_XU4, TrainingWorkload
-from .experiments import (
-    PANELS,
-    batch_tradeoff_table,
-    compare_to_paper,
-    figure1_ascii,
-    figure1_panel,
-    memory_models,
-    section5_table,
-    strategy_ablation_table,
-    table1,
-    table2,
-    table3,
-)
+from .experiments import batch_tradeoff_table, memory_models
 from .studentteacher import PipelineConfig, StudentConfig, run_pipeline
 from .units import MB
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_experiment_parsers(sub: argparse._SubParsersAction) -> None:
+    """One subcommand per registered spec, flags mirroring its params."""
+    for name in lab.available_experiments():
+        spec = lab.get_spec(name)
+        sp = sub.add_parser(name, help=spec.title)
+        for param in spec.params:
+            flag = "--" + (param.cli or param.name.replace("_", "-"))
+            kwargs: dict = {"dest": f"p_{param.name}", "type": param.type}
+            if param.choices is not None:
+                kwargs["choices"] = param.choices
+            if param.help:
+                kwargs["help"] = param.help
+            if param.repeated:
+                sp.add_argument(flag, action="append", default=None, **kwargs)
+            else:
+                sp.add_argument(flag, default=None, **kwargs)
+        if "csv" in spec.renderers:
+            sp.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
+        if "compare" in spec.renderers:
+            sp.add_argument(
+                "--compare", action="store_true", help="side-by-side with paper values"
+            )
+        sp.add_argument(
+            "--format",
+            dest="fmt",
+            choices=sorted(spec.renderers),
+            default=None,
+            help="output renderer (default: ascii)",
+        )
+        sp.add_argument("--trace", metavar="FILE", help="write a Chrome-trace of the run to FILE")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,36 +82,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    for name in ("table1", "table2", "table3"):
-        sp = sub.add_parser(name, help=f"print the paper's {name}")
-        sp.add_argument("--source", choices=("ours", "paper"), default="ours")
-        sp.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
-        sp.add_argument("--compare", action="store_true", help="side-by-side with paper values")
+    _add_experiment_parsers(sub)
 
-    sub.add_parser("section5", help="Section V checkpoint_sequential formula sweep")
+    sub.add_parser("list", help="list registered experiment specs")
 
-    sp = sub.add_parser("figure1", help="Figure 1 memory-vs-rho curves")
-    sp.add_argument("--panel", choices=sorted(PANELS), default="b")
-    sp.add_argument("--source", choices=("ours", "paper"), default="paper")
-    sp.add_argument("--csv", action="store_true")
+    sp = sub.add_parser("show", help="describe one registered experiment spec")
+    sp.add_argument("spec", choices=lab.available_experiments(), metavar="SPEC")
+
+    sp = sub.add_parser("run", help="run one registered experiment spec")
+    sp.add_argument("spec", choices=lab.available_experiments(), metavar="SPEC")
+    sp.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="spec parameter (JSON value or bare string; repeatable)",
+    )
+    sp.add_argument("--format", dest="fmt", default="ascii", help="output renderer")
+    sp.add_argument("--outdir", default=None, help="cache through this artifact directory")
+    sp.add_argument("--force", action="store_true", help="recompute even if cached")
+    sp.add_argument("--trace", metavar="FILE", help="write a Chrome-trace of the run to FILE")
 
     sp = sub.add_parser("strategies", help="list registered checkpoint strategies")
     sp.add_argument("--length", type=int, default=24, help="chain length l")
     sp.add_argument("--budget", type=int, default=6, help="checkpoint slot budget c")
     sp.add_argument("--bwd-ratio", type=float, default=1.0, help="backward/forward cost ratio")
-
-    sp = sub.add_parser("ablation", help="strategy ablation across all registered strategies")
-    sp.add_argument(
-        "--strategy",
-        action="append",
-        choices=available_strategies(),
-        help="restrict to this registered strategy (repeatable; default: all)",
-    )
-    sp.add_argument("--trace", metavar="FILE", help="write a Chrome-trace of the run to FILE")
-
-    sub.add_parser("sensitivity", help="Figure 1 convention-sensitivity sweep")
-
-    sub.add_parser("extended", help="MobileNetV2/VGG16 through the paper's pipeline")
 
     sp = sub.add_parser("profile", help="per-layer memory profile of a zoo model")
     sp.add_argument("--model", type=int, choices=(18, 34, 50, 101, 152), default=50)
@@ -173,29 +196,144 @@ def build_parser() -> argparse.ArgumentParser:
         help="wrapped command and its arguments, plus --out/--format/--no-probe",
     )
 
-    sub.add_parser("summary", help="one-screen overview of all artifacts")
-
-    sp = sub.add_parser("all", help="regenerate every artifact into a directory")
+    sp = sub.add_parser(
+        "all", help="regenerate every artifact into a directory (cache-aware)"
+    )
     sp.add_argument("--outdir", default="artifacts")
+    sp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel compute processes (default: all cores)",
+    )
+    sp.add_argument("--force", action="store_true", help="ignore the artifact cache")
+    sp.add_argument(
+        "--manifest-check",
+        action="store_true",
+        help="validate every provenance manifest after the run",
+    )
     return p
 
 
-def _emit_table(args: argparse.Namespace, generator) -> str:
-    if getattr(args, "compare", False):
-        return compare_to_paper(args.command, args.source).render()
-    result = generator(args.source)
-    table = result.as_table()
-    return table.to_csv() if args.csv else table.render()
+# -- registry-generated experiment commands --------------------------------
 
 
-def _figure1(args: argparse.Namespace) -> str:
-    if args.csv:
-        lines = ["model,rho,memory_mb"]
-        for s in figure1_panel(args.panel, args.source):
-            for rho, b in s.points:
-                lines.append(f"{s.name},{rho:.4f},{b / MB:.2f}")
-        return "\n".join(lines) + "\n"
-    return figure1_ascii(args.panel, args.source)
+def _experiment_command(args: argparse.Namespace) -> str:
+    """Alias path: compute in memory, render in the requested format."""
+    spec = lab.get_spec(args.command)
+    given = {
+        p.name: getattr(args, f"p_{p.name}")
+        for p in spec.params
+        if getattr(args, f"p_{p.name}") is not None
+    }
+    params = spec.validate_params(given)
+    fmt = args.fmt
+    if fmt is None:
+        if getattr(args, "compare", False):
+            fmt = "compare"
+        elif getattr(args, "csv", False):
+            fmt = "csv"
+        else:
+            fmt = "ascii"
+    payload = lab.compute_payload(args.command, params)
+    return spec.renderers[fmt](payload)
+
+
+def _parse_run_params(pairs: list[str]) -> dict:
+    params = {}
+    for pair in pairs:
+        key, eq, value = pair.partition("=")
+        if not eq:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value  # bare strings need no quotes
+    return params
+
+
+def _run(args: argparse.Namespace) -> str:
+    spec = lab.get_spec(args.spec)
+    params = spec.validate_params(_parse_run_params(args.param))
+    if args.fmt not in spec.renderers:
+        raise SystemExit(
+            f"spec {args.spec!r} has no {args.fmt!r} renderer "
+            f"(choose from: {', '.join(sorted(spec.renderers))})"
+        )
+    if args.outdir is None:
+        return spec.renderers[args.fmt](lab.compute_payload(args.spec, params))
+    store = lab.ArtifactStore(args.outdir)
+    report = lab.run_units(
+        [lab.Unit(args.spec, params)], store, force=args.force
+    )
+    payload = store.load_payload(report.outcomes[-1].key)
+    return (
+        spec.renderers[args.fmt](payload).rstrip("\n")
+        + "\n"
+        + report.summary_line()
+    )
+
+
+def _list(_args: argparse.Namespace) -> str:
+    names = lab.available_experiments()
+    lines = [f"{len(names)} registered experiment specs:"]
+    for name in names:
+        spec = lab.get_spec(name)
+        params = ", ".join(p.name for p in spec.params) or "-"
+        lines.append(f"  {name:<12} {spec.title}  [params: {params}]")
+    return "\n".join(lines)
+
+
+def _show(args: argparse.Namespace) -> str:
+    spec = lab.get_spec(args.spec)
+    defaults = spec.validate_params()
+    lines = [
+        f"{spec.name}: {spec.title}",
+        f"  code fingerprint : {spec.fingerprint()[:16]}",
+        f"  default cache key: {lab.unit_key(spec, defaults)[:16]}",
+        f"  renderers        : {', '.join(sorted(spec.renderers))}",
+    ]
+    if spec.params:
+        lines.append("  params:")
+        for p in spec.params:
+            extra = f", choices={sorted(p.choices)}" if p.choices else ""
+            rep = "repeated " if p.repeated else ""
+            lines.append(
+                f"    {p.name:<14} {rep}{p.type.__name__}"
+                f" (default={p.default!r}{extra})"
+            )
+    if spec.deps:
+        lines.append("  deps:")
+        for dep_name, dep_params in spec.deps:
+            lines.append(f"    {dep_name} {json.dumps(dep_params, sort_keys=True)}")
+    if spec.default_units:
+        lines.append("  default artifacts:")
+        for ud in spec.default_units:
+            files = ", ".join(f for f, _ in ud.outputs) or "-"
+            lines.append(f"    {json.dumps(dict(ud.params), sort_keys=True)} -> {files}")
+    return "\n".join(lines)
+
+
+def _all(args: argparse.Namespace) -> str:
+    """Regenerate every default artifact through the content cache."""
+    store = lab.ArtifactStore(args.outdir)
+    jobs = args.jobs if args.jobs is not None else lab.default_jobs()
+    report = lab.run_units(
+        lab.default_units(), store, jobs=jobs, force=args.force
+    )
+    lines = []
+    for o in report.outcomes:
+        verb = "wrote" if (o.computed or o.written) else "cached"
+        for fname in o.outputs:
+            lines.append(f"{verb} {store.artifact_path(fname)}")
+    if args.manifest_check:
+        n = lab.check_manifests(store)
+        lines.append(f"manifests: {n} valid")
+    lines.append(report.summary_line())
+    return "\n".join(lines)
+
+
+# -- hand-written (non-experiment) commands --------------------------------
 
 
 def _strategies(args: argparse.Namespace) -> str:
@@ -222,11 +360,6 @@ def _strategies(args: argparse.Namespace) -> str:
         f"{info.hits} hits / {info.misses} misses"
     )
     return "\n".join(lines)
-
-
-def _ablation(args: argparse.Namespace) -> str:
-    names = tuple(args.strategy) if args.strategy else None
-    return strategy_ablation_table(strategies=names).render()
 
 
 def _batch_tradeoff(args: argparse.Namespace) -> str:
@@ -259,18 +392,6 @@ def _viewpoint(args: argparse.Namespace) -> str:
         f"harvested-set storage at 10 kB/image: {res.storage_bytes_needed / MB:.1f} MB"
     )
     return res.summary() + footer
-
-
-def _sensitivity() -> str:
-    from .experiments import sensitivity_table
-
-    return sensitivity_table().render()
-
-
-def _extended() -> str:
-    from .experiments import extended_model_table
-
-    return extended_model_table().render()
 
 
 def _profile(args: argparse.Namespace) -> str:
@@ -548,56 +669,6 @@ def _energy(args: argparse.Namespace) -> str:
     )
 
 
-def _all(args: argparse.Namespace) -> str:
-    """Regenerate every table/figure artifact into ``--outdir``."""
-    import pathlib
-
-    from .experiments import (
-        extended_model_table,
-        section5_table,
-        sensitivity_table,
-        strategy_ablation_table,
-    )
-
-    outdir = pathlib.Path(args.outdir)
-    outdir.mkdir(parents=True, exist_ok=True)
-    written = []
-
-    for which, gen in (("table1", table1), ("table2", table2), ("table3", table3)):
-        for source in ("ours", "paper"):
-            path = outdir / f"{which}_{source}.txt"
-            path.write_text(gen(source).as_table().render())
-            written.append(path)
-        path = outdir / f"{which}_compare.txt"
-        path.write_text(compare_to_paper(which, "ours").render())
-        written.append(path)
-
-    (outdir / "section5.txt").write_text(section5_table().render())
-    written.append(outdir / "section5.txt")
-
-    for panel in sorted(PANELS):
-        path = outdir / f"figure1_{panel}.txt"
-        path.write_text(figure1_ascii(panel, "paper"))
-        written.append(path)
-        csv_path = outdir / f"figure1_{panel}.csv"
-        lines = ["model,rho,memory_mb"]
-        for s in figure1_panel(panel, "paper"):
-            for rho, b in s.points:
-                lines.append(f"{s.name},{rho:.4f},{b / MB:.2f}")
-        csv_path.write_text("\n".join(lines) + "\n")
-        written.append(csv_path)
-
-    (outdir / "ablation_strategies.txt").write_text(strategy_ablation_table().render())
-    (outdir / "sensitivity.txt").write_text(sensitivity_table().render())
-    (outdir / "extended_models.txt").write_text(extended_model_table().render())
-    written += [
-        outdir / "ablation_strategies.txt",
-        outdir / "sensitivity.txt",
-        outdir / "extended_models.txt",
-    ]
-    return "\n".join(f"wrote {p}" for p in written)
-
-
 def _trace_probe() -> None:
     """A miniature traced training run anchoring every core span category.
 
@@ -662,7 +733,7 @@ def _trace(raw: list[str]) -> str:
         if not args.no_probe:
             with tracer.span("probe", category="train"):
                 _trace_probe()
-        out = _HANDLERS[wrapped_args.command](wrapped_args)
+        out = _dispatch(wrapped_args)
     metrics = obs.get_metrics()
     if args.format == "chrome":
         obs.write_chrome_trace(args.out, tracer, metrics)
@@ -681,26 +752,12 @@ def _trace(raw: list[str]) -> str:
     return out.rstrip("\n") + "\n" + footer
 
 
-def _summary(_args: argparse.Namespace) -> str:
-    parts = [
-        table1("ours").as_table().render(),
-        section5_table(max_segments=8).render(),
-        figure1_ascii("b", "paper"),
-        strategy_ablation_table(lengths=(50, 152), slot_budgets=(3, 8, 21)).render(),
-    ]
-    return "\n".join(parts)
-
-
 _HANDLERS = {
-    "table1": lambda a: _emit_table(a, table1),
-    "table2": lambda a: _emit_table(a, table2),
-    "table3": lambda a: _emit_table(a, table3),
-    "section5": lambda a: section5_table().render(),
-    "figure1": _figure1,
+    "list": _list,
+    "show": _show,
+    "run": _run,
+    "all": _all,
     "strategies": _strategies,
-    "ablation": _ablation,
-    "sensitivity": lambda a: _sensitivity(),
-    "extended": lambda a: _extended(),
     "profile": _profile,
     "pareto": _pareto,
     "disk-revolve": _disk_revolve,
@@ -711,10 +768,15 @@ _HANDLERS = {
     "energy": _energy,
     "batch-tradeoff": _batch_tradeoff,
     "viewpoint": _viewpoint,
-    "summary": _summary,
-    "all": _all,
     "trace": lambda a: _trace(a.args),
 }
+
+
+def _dispatch(args: argparse.Namespace) -> str:
+    handler = _HANDLERS.get(args.command)
+    if handler is not None:
+        return handler(args)
+    return _experiment_command(args)  # registry-generated spec command
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -724,11 +786,11 @@ def main(argv: list[str] | None = None) -> int:
     if trace_path:
         # --trace FILE on a subcommand: same machinery, chrome format.
         with obs.tracing() as tracer:
-            out = _HANDLERS[args.command](args)
+            out = _dispatch(args)
         obs.write_chrome_trace(trace_path, tracer, obs.get_metrics())
         out = out.rstrip("\n") + f"\ntrace written to {trace_path}"
     else:
-        out = _HANDLERS[args.command](args)
+        out = _dispatch(args)
     sys.stdout.write(out if out.endswith("\n") else out + "\n")
     return 0
 

@@ -18,6 +18,9 @@ __all__ = [
     "PlanningError",
     "FaultError",
     "SnapshotError",
+    "LabError",
+    "ArtifactError",
+    "ManifestError",
 ]
 
 
@@ -67,3 +70,15 @@ class FaultError(ReproError):
 
 class SnapshotError(ReproError):
     """A training snapshot is malformed, corrupted or truncated."""
+
+
+class LabError(ReproError):
+    """An experiment spec, registry entry or lab run is invalid."""
+
+
+class ArtifactError(LabError):
+    """A cached artifact payload is missing fields, corrupted or truncated."""
+
+
+class ManifestError(LabError):
+    """A provenance manifest is malformed or inconsistent with its artifacts."""

@@ -1,6 +1,11 @@
-"""Paper-artifact generators: Tables I-III, Section V, Figure 1, ablations."""
+"""Paper-artifact generators: Tables I-III, Section V, Figure 1, ablations.
 
-from .report import Table, ascii_plot
+Importing this package registers every artifact family with
+:mod:`repro.lab` (import order below fixes the registration order,
+which is the order ``repro-edge list`` and ``all`` use).
+"""
+
+from .report import Table, ascii_plot, render_json, table_from_payload, table_to_payload
 from .tables import (
     TableResult,
     compare_to_paper,
@@ -8,6 +13,7 @@ from .tables import (
     table1,
     table2,
     table3,
+    table_result_from_payload,
 )
 from .section5 import Section5Row, section5_sweep, section5_table
 from .figure1 import (
@@ -16,13 +22,6 @@ from .figure1 import (
     default_rhos,
     figure1_ascii,
     figure1_panel,
-)
-from .extended import ExtendedRow, extended_model_rows, extended_model_table
-from .sensitivity import (
-    SensitivityPoint,
-    fit_rho,
-    sensitivity_sweep,
-    sensitivity_table,
 )
 from .ablation import (
     BatchPoint,
@@ -33,15 +32,27 @@ from .ablation import (
     strategy_ablation,
     strategy_ablation_table,
 )
+from .sensitivity import (
+    SensitivityPoint,
+    fit_rho,
+    sensitivity_sweep,
+    sensitivity_table,
+)
+from .extended import ExtendedRow, extended_model_rows, extended_model_table
+from .summary import SUMMARY_DEPS
 
 __all__ = [
     "Table",
     "ascii_plot",
+    "render_json",
+    "table_to_payload",
+    "table_from_payload",
     "TableResult",
     "table1",
     "table2",
     "table3",
     "compare_to_paper",
+    "table_result_from_payload",
     "memory_models",
     "Section5Row",
     "section5_sweep",
@@ -65,4 +76,5 @@ __all__ = [
     "ExtendedRow",
     "extended_model_rows",
     "extended_model_table",
+    "SUMMARY_DEPS",
 ]

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..checkpointing import available_strategies, compare_strategies
 from ..edge import Device, TrainingWorkload, sweep_batch_sizes
+from ..lab import Param, UnitDef, experiment
 from ..obs import get_tracer
 from ..studentteacher import (
     PipelineConfig,
@@ -28,7 +29,7 @@ from ..studentteacher import (
     harvest_labels,
     track_episode,
 )
-from .report import Table
+from .report import Table, render_json, table_from_payload, table_to_payload
 
 __all__ = [
     "strategy_ablation",
@@ -74,10 +75,15 @@ def strategy_ablation_table(
     lengths: tuple[int, ...] = (18, 34, 50, 101, 152),
     slot_budgets: tuple[int, ...] = (3, 5, 8, 13, 21),
     strategies: tuple[str, ...] | None = None,
+    data: dict[tuple[int, int], dict[str, float]] | None = None,
 ) -> Table:
-    """Render the ablation: ρ per registered strategy at equal memory."""
+    """Render the ablation: ρ per registered strategy at equal memory.
+
+    ``data`` short-circuits the sweep when the caller already ran it.
+    """
     names = available_strategies() if strategies is None else tuple(strategies)
-    data = strategy_ablation(lengths, slot_budgets, names)
+    if data is None:
+        data = strategy_ablation(lengths, slot_budgets, names)
 
     def fmt(v: float) -> str:
         return f"{v:.3f}" if v != float("inf") else "inf"
@@ -195,3 +201,57 @@ def harvest_ablation(
                 )
             )
     return out
+
+
+# -- repro.lab registration ------------------------------------------------
+
+
+@experiment(
+    "ablation",
+    "strategy ablation across all registered strategies",
+    params=(
+        Param("lengths", int, default=(18, 34, 50, 101, 152), repeated=True, cli="length"),
+        Param("slot_budgets", int, default=(3, 5, 8, 13, 21), repeated=True, cli="slot-budget"),
+        Param(
+            "strategies",
+            str,
+            default=None,
+            repeated=True,
+            choices=available_strategies(),
+            cli="strategy",
+        ),
+    ),
+    renderers={
+        "ascii": lambda doc: table_from_payload(doc["table"]).render(),
+        "csv": lambda doc: table_from_payload(doc["table"]).to_csv(),
+        "json": render_json,
+    },
+    default_units=(UnitDef({}, (("ablation_strategies.txt", "ascii"),)),),
+)
+def _ablation_spec(params, inputs):
+    lengths = tuple(params["lengths"])
+    budgets = tuple(params["slot_budgets"])
+    names = (
+        tuple(params["strategies"])
+        if params["strategies"]
+        else available_strategies()
+    )
+    data = strategy_ablation(lengths, budgets, names)
+    return {
+        "lengths": list(lengths),
+        "slot_budgets": list(budgets),
+        "strategies": list(names),
+        "table": table_to_payload(
+            strategy_ablation_table(lengths, budgets, names, data=data)
+        ),
+        "records": [
+            {
+                "length": l,
+                "slots": c,
+                "strategy": name,
+                "rho": None if rho == float("inf") else rho,
+            }
+            for (l, c), entry in data.items()
+            for name, rho in entry.items()
+        ],
+    }

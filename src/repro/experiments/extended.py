@@ -15,10 +15,11 @@ from dataclasses import dataclass
 from ..checkpointing import plan_training
 from ..errors import MemoryBudgetError
 from ..graph import Graph, homogenize
+from ..lab import Param, UnitDef, experiment
 from ..memory import account
 from ..units import GB, MB
 from ..zoo import build_resnet, mobilenet_v2, vgg16
-from .report import Table
+from .report import Table, render_json, table_from_payload, table_to_payload
 
 __all__ = ["ExtendedRow", "extended_model_rows", "extended_model_table"]
 
@@ -84,8 +85,12 @@ def extended_model_rows(batch_sizes: tuple[int, ...] = (1, 8, 32, 64)) -> list[E
     return rows
 
 
-def extended_model_table(batch_sizes: tuple[int, ...] = (1, 8, 32, 64)) -> Table:
-    rows = extended_model_rows(batch_sizes)
+def extended_model_table(
+    batch_sizes: tuple[int, ...] = (1, 8, 32, 64),
+    rows: list[ExtendedRow] | None = None,
+) -> Table:
+    if rows is None:
+        rows = extended_model_rows(batch_sizes)
     cells = []
     labels = []
     for r in rows:
@@ -107,3 +112,43 @@ def extended_model_table(batch_sizes: tuple[int, ...] = (1, 8, 32, 64)) -> Table
         cells=cells,
         row_header="model@batch",
     )
+
+
+# -- repro.lab registration ------------------------------------------------
+
+
+@experiment(
+    "extended",
+    "MobileNetV2/VGG16 through the paper's pipeline",
+    params=(
+        Param("batch_sizes", int, default=(1, 8, 32, 64), repeated=True, cli="batch-size"),
+    ),
+    renderers={
+        "ascii": lambda doc: table_from_payload(doc["table"]).render(),
+        "csv": lambda doc: table_from_payload(doc["table"]).to_csv(),
+        "json": render_json,
+    },
+    default_units=(UnitDef({}, (("extended_models.txt", "ascii"),)),),
+)
+def _extended_spec(params, inputs):
+    batch_sizes = tuple(params["batch_sizes"])
+    rows = extended_model_rows(batch_sizes)
+    return {
+        "batch_sizes": list(batch_sizes),
+        "table": table_to_payload(extended_model_table(batch_sizes, rows=rows)),
+        "records": [
+            {
+                "model": r.model,
+                "batch_size": r.batch_size,
+                "weight_mb": r.weight_mb,
+                "fixed_mb": r.fixed_mb,
+                "act_mb_per_sample": r.act_mb_per_sample,
+                "store_all_mb": r.store_all_mb,
+                "strategy": r.strategy,
+                "rho": None if r.rho == float("inf") else r.rho,
+                # planned_mb is NaN exactly when the plan is infeasible
+                "planned_mb": None if r.planned_mb != r.planned_mb else r.planned_mb,
+            }
+            for r in rows
+        ],
+    }

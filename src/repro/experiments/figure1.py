@@ -17,10 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..checkpointing import memory_curve
+from ..lab import Param, UnitDef, experiment
 from ..memory import calibrated_models
 from ..units import GB, MB
 from ..zoo import RESNET_DEPTHS
-from .report import ascii_plot
+from .report import ascii_plot, render_json
 from .tables import memory_models
 
 __all__ = ["PANELS", "Figure1Series", "figure1_panel", "figure1_ascii", "default_rhos"]
@@ -104,14 +105,12 @@ def figure1_panel(
     return out
 
 
-def figure1_ascii(panel: str, source: str = "paper", log_mb: bool = False) -> str:
-    """Render one panel as an ASCII plot with the 2 GB budget line."""
-    series = figure1_panel(panel, source)
+def _ascii_from_points(
+    panel: str, source: str, named_points: list[tuple[str, list[tuple[float, float]]]]
+) -> str:
+    """Shared plot rendering for live series and cached payloads."""
     batch, image = PANELS[panel]
-    data = {
-        s.name: [(r, b / MB) for r, b in s.points]
-        for s in series
-    }
+    data = {name: [(r, b / MB) for r, b in pts] for name, pts in named_points}
     return ascii_plot(
         data,
         title=(
@@ -123,3 +122,71 @@ def figure1_ascii(panel: str, source: str = "paper", log_mb: bool = False) -> st
         hline=2 * GB / MB,
         hline_label="2GB budget",
     )
+
+
+def figure1_ascii(panel: str, source: str = "paper", log_mb: bool = False) -> str:
+    """Render one panel as an ASCII plot with the 2 GB budget line."""
+    series = figure1_panel(panel, source)
+    return _ascii_from_points(panel, source, [(s.name, list(s.points)) for s in series])
+
+
+# -- repro.lab registration ------------------------------------------------
+
+
+def _figure1_ascii_renderer(doc: dict) -> str:
+    return _ascii_from_points(
+        doc["panel"],
+        doc["source"],
+        [(s["name"], [tuple(p) for p in s["points"]]) for s in doc["series"]],
+    )
+
+
+def _figure1_csv_renderer(doc: dict) -> str:
+    lines = ["model,rho,memory_mb"]
+    for s in doc["series"]:
+        for rho, b in s["points"]:
+            lines.append(f"{s['name']},{rho:.4f},{b / MB:.2f}")
+    return "\n".join(lines) + "\n"
+
+
+@experiment(
+    "figure1",
+    "Figure 1 memory-vs-rho curves",
+    params=(
+        Param("panel", str, default="b", choices=tuple(sorted(PANELS))),
+        Param("source", str, default="paper", choices=("ours", "paper")),
+    ),
+    renderers={
+        "ascii": _figure1_ascii_renderer,
+        "csv": _figure1_csv_renderer,
+        "json": render_json,
+    },
+    default_units=tuple(
+        UnitDef(
+            {"panel": p, "source": "paper"},
+            ((f"figure1_{p}.txt", "ascii"), (f"figure1_{p}.csv", "csv")),
+        )
+        for p in sorted(PANELS)
+    ),
+)
+def _figure1_spec(params, inputs):
+    series = figure1_panel(params["panel"], params["source"])
+    return {
+        "panel": params["panel"],
+        "source": params["source"],
+        "series": [
+            {
+                "name": s.name,
+                "depth": s.depth,
+                "batch_size": s.batch_size,
+                "image_size": s.image_size,
+                "points": [[r, b] for r, b in s.points],
+            }
+            for s in series
+        ],
+        "records": [
+            {"model": s.name, "rho": r, "memory_mb": b / MB}
+            for s in series
+            for r, b in s.points
+        ],
+    }

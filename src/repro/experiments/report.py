@@ -8,10 +8,17 @@ dependency is required (the environment is offline).
 from __future__ import annotations
 
 import io
+import json
 from dataclasses import dataclass
 from typing import Sequence
 
-__all__ = ["Table", "ascii_plot"]
+__all__ = [
+    "Table",
+    "ascii_plot",
+    "table_to_payload",
+    "table_from_payload",
+    "render_json",
+]
 
 
 @dataclass
@@ -59,6 +66,33 @@ class Table:
         for rlabel, row in zip(self.row_labels, self.cells):
             out.write(",".join([rlabel] + row) + "\n")
         return out.getvalue()
+
+
+def table_to_payload(table: Table) -> dict:
+    """Plain-data form of a rendered table (for repro.lab payloads)."""
+    return {
+        "title": table.title,
+        "col_labels": list(table.col_labels),
+        "row_labels": list(table.row_labels),
+        "cells": [list(row) for row in table.cells],
+        "row_header": table.row_header,
+    }
+
+
+def table_from_payload(doc: dict) -> Table:
+    """Rebuild a :class:`Table` from its payload form."""
+    return Table(
+        title=doc["title"],
+        col_labels=list(doc["col_labels"]),
+        row_labels=list(doc["row_labels"]),
+        cells=[list(row) for row in doc["cells"]],
+        row_header=doc["row_header"],
+    )
+
+
+def render_json(payload: dict) -> str:
+    """Canonical JSON rendering shared by every registered spec."""
+    return json.dumps(payload, indent=1, sort_keys=True, allow_nan=False) + "\n"
 
 
 def ascii_plot(

@@ -20,8 +20,9 @@ from ..checkpointing import (
     uniform_memory_slots,
     uniform_schedule,
 )
+from ..lab import Param, UnitDef, experiment
 from ..zoo import RESNET_DEPTHS
-from .report import Table
+from .report import Table, render_json, table_from_payload, table_to_payload
 
 __all__ = ["Section5Row", "section5_sweep", "section5_table"]
 
@@ -80,3 +81,42 @@ def section5_table(lengths: tuple[int, ...] = RESNET_DEPTHS, max_segments: int =
         cells=cells,
         row_header="l",
     )
+
+
+# -- repro.lab registration ------------------------------------------------
+
+
+@experiment(
+    "section5",
+    "Section V checkpoint_sequential formula sweep",
+    params=(
+        Param("lengths", int, default=RESNET_DEPTHS, repeated=True, cli="length"),
+        Param("max_segments", int, default=12),
+    ),
+    renderers={
+        "ascii": lambda doc: table_from_payload(doc["table"]).render(),
+        "csv": lambda doc: table_from_payload(doc["table"]).to_csv(),
+        "json": render_json,
+    },
+    default_units=(UnitDef({}, (("section5.txt", "ascii"),)),),
+)
+def _section5_spec(params, inputs):
+    lengths = tuple(params["lengths"])
+    max_segments = params["max_segments"]
+    rows = section5_sweep(lengths, max_segments=max_segments)
+    return {
+        "lengths": list(lengths),
+        "max_segments": max_segments,
+        "table": table_to_payload(section5_table(lengths, max_segments=max_segments)),
+        "records": [
+            {
+                "length": r.length,
+                "segments": r.segments,
+                "formula_slots": r.formula_slots,
+                "measured_slots": r.measured_slots,
+                "extra_forwards": r.extra_forwards,
+                "consistent": r.consistent,
+            }
+            for r in rows
+        ],
+    }

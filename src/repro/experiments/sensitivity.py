@@ -14,9 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..checkpointing import min_slots_for_extra
+from ..lab import Param, UnitDef, experiment
 from ..memory import calibrated_models
 from ..units import GB
-from .report import Table
+from .report import Table, render_json, table_from_payload, table_to_payload
 
 __all__ = ["SensitivityPoint", "fit_rho", "sensitivity_sweep", "sensitivity_table"]
 
@@ -80,9 +81,12 @@ def sensitivity_sweep(
     return out
 
 
-def sensitivity_table(batch: int = 8, image: int = 500) -> Table:
+def sensitivity_table(
+    batch: int = 8, image: int = 500, points: list[SensitivityPoint] | None = None
+) -> Table:
     """Render the sweep as rows = model, cols = convention."""
-    points = sensitivity_sweep(batch=batch, image=image)
+    if points is None:
+        points = sensitivity_sweep(batch=batch, image=image)
     combos = sorted({(p.bwd_ratio, p.inflight_slots) for p in points})
     depths = sorted({p.depth for p in points})
     lookup = {(p.depth, p.bwd_ratio, p.inflight_slots): p.fit_rho for p in points}
@@ -100,3 +104,41 @@ def sensitivity_table(batch: int = 8, image: int = 500) -> Table:
         cells=cells,
         row_header="model",
     )
+
+
+# -- repro.lab registration ------------------------------------------------
+
+
+@experiment(
+    "sensitivity",
+    "Figure 1 convention-sensitivity sweep",
+    params=(
+        Param("batch", int, default=8),
+        Param("image", int, default=500),
+    ),
+    renderers={
+        "ascii": lambda doc: table_from_payload(doc["table"]).render(),
+        "csv": lambda doc: table_from_payload(doc["table"]).to_csv(),
+        "json": render_json,
+    },
+    default_units=(UnitDef({}, (("sensitivity.txt", "ascii"),)),),
+)
+def _sensitivity_spec(params, inputs):
+    batch, image = params["batch"], params["image"]
+    points = sensitivity_sweep(batch=batch, image=image)
+    return {
+        "batch": batch,
+        "image": image,
+        "table": table_to_payload(
+            sensitivity_table(batch=batch, image=image, points=points)
+        ),
+        "records": [
+            {
+                "depth": p.depth,
+                "bwd_ratio": p.bwd_ratio,
+                "inflight_slots": p.inflight_slots,
+                "fit_rho": p.fit_rho,
+            }
+            for p in points
+        ],
+    }

@@ -1,0 +1,42 @@
+"""The one-screen overview, assembled from cached dependency payloads.
+
+``summary`` is the only registered spec with dependencies: it renders
+Table I (ours), the Section V sweep at 8 segments, Figure 1b (paper
+coefficients) and a reduced strategy ablation — each pulled from the
+lab cache when warm, so a cached ``repro-edge summary`` touches no
+experiment code at all.
+"""
+
+from __future__ import annotations
+
+from ..lab import UnitDef, experiment, get_spec
+from .report import render_json
+
+__all__ = ["SUMMARY_DEPS"]
+
+#: (spec, params) of each section, in display order.
+SUMMARY_DEPS = (
+    ("table1", {"source": "ours"}),
+    ("section5", {"max_segments": 8}),
+    ("figure1", {"panel": "b", "source": "paper"}),
+    ("ablation", {"lengths": (50, 152), "slot_budgets": (3, 8, 21)}),
+)
+
+
+def _summary_ascii(doc: dict) -> str:
+    return "\n".join(s["text"] for s in doc["sections"])
+
+
+@experiment(
+    "summary",
+    "one-screen overview of all artifacts",
+    deps=SUMMARY_DEPS,
+    renderers={"ascii": _summary_ascii, "json": render_json},
+    default_units=(UnitDef({}, (("summary.txt", "ascii"),)),),
+)
+def _summary_spec(params, inputs):
+    sections = []
+    for (dep_name, _), payload in zip(SUMMARY_DEPS, inputs):
+        text = get_spec(dep_name).renderers["ascii"](payload)
+        sections.append({"spec": dep_name, "text": text})
+    return {"sections": sections}

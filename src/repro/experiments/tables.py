@@ -28,9 +28,10 @@ from ..memory import (
     calibrated_models,
     memory_model_for,
 )
+from ..lab import ExperimentSpec, Param, UnitDef, register
 from ..units import GB, MB
 from ..zoo import RESNET_DEPTHS, build_resnet
-from .report import Table
+from .report import Table, render_json
 
 __all__ = [
     "TableResult",
@@ -39,6 +40,7 @@ __all__ = [
     "table2",
     "table3",
     "compare_to_paper",
+    "table_result_from_payload",
 ]
 
 _BUDGET_BYTES = 2 * GB
@@ -165,10 +167,15 @@ _PAPER_LOOKUP = {
 }
 
 
-def compare_to_paper(which: str, source: str = "ours") -> Table:
-    """Side-by-side grid: published value / our value / ratio per cell."""
+def compare_to_paper(which: str, source: str = "ours", result: TableResult | None = None) -> Table:
+    """Side-by-side grid: published value / our value / ratio per cell.
+
+    ``result`` short-circuits the generator (the lab renderers pass a
+    table rebuilt from a cached payload instead of recomputing it).
+    """
     gen = {"table1": table1, "table2": table2, "table3": table3}[which]
-    result = gen(source)
+    if result is None:
+        result = gen(source)
     published, _ = _PAPER_LOOKUP[which]
     cells = []
     for r in result.rows:
@@ -186,3 +193,89 @@ def compare_to_paper(which: str, source: str = "ours") -> Table:
         cells=cells,
         row_header=result.row_name,
     )
+
+
+# -- repro.lab registration ------------------------------------------------
+
+
+def table_result_from_payload(doc: dict) -> TableResult:
+    """Rebuild a :class:`TableResult` from a cached lab payload."""
+    rows = tuple(doc["rows"])
+    depths = tuple(doc["depths"])
+    values = {
+        (r, d): doc["values_bytes"][i][j]
+        for i, r in enumerate(rows)
+        for j, d in enumerate(depths)
+    }
+    return TableResult(
+        name=doc["name"],
+        source=doc["source"],
+        row_name=doc["row_name"],
+        rows=rows,
+        depths=depths,
+        values_bytes=values,
+        unit=doc["unit"],
+    )
+
+
+def _register_table_spec(which: str, gen, title: str) -> None:
+    def compute(params, inputs):
+        result = gen(params["source"])
+        return {
+            "which": which,
+            "name": result.name,
+            "source": result.source,
+            "row_name": result.row_name,
+            "rows": list(result.rows),
+            "depths": list(result.depths),
+            "unit": result.unit,
+            "values_bytes": [
+                [result.values_bytes[(r, d)] for d in result.depths]
+                for r in result.rows
+            ],
+            "records": [
+                {
+                    result.row_name: r,
+                    "depth": d,
+                    "bytes": result.values_bytes[(r, d)],
+                    "value": result.value(r, d),
+                    "exceeds_budget": result.exceeds_budget(r, d),
+                }
+                for r in result.rows
+                for d in result.depths
+            ],
+        }
+
+    register(
+        ExperimentSpec(
+            name=which,
+            title=title,
+            compute=compute,
+            renderers={
+                "ascii": lambda doc: table_result_from_payload(doc).as_table().render(),
+                "csv": lambda doc: table_result_from_payload(doc).as_table().to_csv(),
+                "compare": lambda doc: compare_to_paper(
+                    doc["which"], doc["source"], result=table_result_from_payload(doc)
+                ).render(),
+                "json": render_json,
+            },
+            params=(
+                Param("source", str, default="ours", choices=("ours", "paper")),
+            ),
+            default_units=(
+                UnitDef(
+                    {"source": "ours"},
+                    (
+                        (f"{which}_ours.txt", "ascii"),
+                        (f"{which}_compare.txt", "compare"),
+                    ),
+                ),
+                UnitDef({"source": "paper"}, ((f"{which}_paper.txt", "ascii"),)),
+            ),
+        )
+    )
+
+
+_register_table_spec("table1", table1, "Table I: memory vs batch size at image 224")
+_register_table_spec("table2", table2, "Table II: memory vs image size at batch 1")
+_register_table_spec("table3", table3, "Table III: memory vs image size at batch 8")

@@ -1,0 +1,78 @@
+"""repro.lab — declarative experiment pipeline.
+
+Specs (:mod:`~repro.lab.spec`) describe artifacts as typed params plus
+a pure compute function and renderers; the registry
+(:mod:`~repro.lab.registry`) discovers them; the store
+(:mod:`~repro.lab.store`) caches computed payloads content-addressed
+by ``SHA-256(spec + params + code fingerprint)``; manifests
+(:mod:`~repro.lab.manifest`) record provenance per artifact; and the
+runner (:mod:`~repro.lab.runner`) executes unit batches topo-aware and
+parallel with obs-instrumented cache hits/misses.
+
+>>> from repro import lab
+>>> import repro.experiments  # registers the paper's specs
+>>> report = lab.run_units([lab.Unit("table1", {"source": "paper"})])
+>>> report.outcomes[0].status
+'miss'
+
+``docs/experiments.md`` is the guide.
+"""
+
+from .manifest import MANIFEST_VERSION, build_manifest, check_manifests, validate_manifest
+from .registry import (
+    available_experiments,
+    default_units,
+    experiment,
+    get_spec,
+    register,
+    unregister,
+    validate_params,
+)
+from .runner import (
+    RunReport,
+    UnitOutcome,
+    compute_payload,
+    compute_unit,
+    default_jobs,
+    expand_units,
+    run_units,
+)
+from .spec import (
+    ExperimentSpec,
+    Param,
+    Unit,
+    UnitDef,
+    canonical_params,
+    canonical_payload,
+    unit_key,
+)
+from .store import ArtifactStore
+
+__all__ = [
+    "Param",
+    "UnitDef",
+    "Unit",
+    "ExperimentSpec",
+    "canonical_params",
+    "canonical_payload",
+    "unit_key",
+    "experiment",
+    "register",
+    "get_spec",
+    "available_experiments",
+    "default_units",
+    "validate_params",
+    "unregister",
+    "ArtifactStore",
+    "MANIFEST_VERSION",
+    "build_manifest",
+    "validate_manifest",
+    "check_manifests",
+    "UnitOutcome",
+    "RunReport",
+    "expand_units",
+    "run_units",
+    "compute_unit",
+    "compute_payload",
+    "default_jobs",
+]

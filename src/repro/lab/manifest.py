@@ -1,0 +1,148 @@
+"""Provenance manifests: what produced each artifact, validated.
+
+Every artifact stem gets one manifest recording the spec, validated
+params, whether its constants came from the paper or our replication,
+the seed, the repro version, the unit's cache key and code fingerprint,
+the SHA-256 of every emitted file, the keys of parent artifacts it was
+derived from, and the compute wall time.  :func:`validate_manifest`
+re-hashes the files on disk, so a manifest that passes is a proof that
+the artifact tree is exactly what the recorded computation produced.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+from ..errors import ManifestError
+from .spec import ExperimentSpec
+from .store import ArtifactStore
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "build_manifest",
+    "validate_manifest",
+    "check_manifests",
+]
+
+MANIFEST_VERSION = 1
+
+_REQUIRED = (
+    "manifest_version",
+    "spec",
+    "params",
+    "constants_source",
+    "seed",
+    "repro_version",
+    "key",
+    "code_fingerprint",
+    "outputs",
+    "parents",
+    "payload_sha256",
+    "wall_time_s",
+    "cached",
+)
+
+
+def _repro_version() -> str:
+    from .. import __version__  # deferred: repro/__init__ imports repro.lab
+
+    return __version__
+
+
+def build_manifest(
+    spec: ExperimentSpec,
+    params: Mapping[str, Any],
+    key: str,
+    *,
+    outputs: Mapping[str, str],
+    parents: Mapping[str, str],
+    payload_sha256: str,
+    wall_time_s: float,
+    cached: bool,
+    seed: int | None = None,
+) -> dict:
+    """Assemble the provenance document for one computed unit.
+
+    ``outputs`` maps emitted filenames to their SHA-256; ``parents``
+    maps dependency spec names to the cache keys their payloads came
+    from.  The constants source is taken from the unit's ``source``
+    param when it has one (the paper-vs-ours axis), else ``"ours"``.
+    """
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "spec": spec.name,
+        "title": spec.title,
+        "params": dict(params),
+        "constants_source": params.get("source", "ours"),
+        "seed": seed if seed is not None else params.get("seed"),
+        "repro_version": _repro_version(),
+        "key": key,
+        "code_fingerprint": spec.fingerprint(),
+        "outputs": dict(outputs),
+        "parents": dict(parents),
+        "payload_sha256": payload_sha256,
+        "wall_time_s": round(float(wall_time_s), 6),
+        "cached": bool(cached),
+        "created_unix": round(time.time(), 3),
+    }
+
+
+def validate_manifest(doc: Any, store: ArtifactStore, stem: str = "?") -> None:
+    """Raise :class:`ManifestError` unless ``doc`` is sound.
+
+    Checks the schema, that the constants source is ``paper``/``ours``,
+    and that every recorded output file exists under the store root
+    with exactly the recorded SHA-256.
+    """
+    if not isinstance(doc, dict):
+        raise ManifestError(f"manifest {stem!r} is not a JSON object")
+    missing = [f for f in _REQUIRED if f not in doc]
+    if missing:
+        raise ManifestError(f"manifest {stem!r} is missing fields {missing}")
+    if doc["manifest_version"] != MANIFEST_VERSION:
+        raise ManifestError(
+            f"manifest {stem!r} has version {doc['manifest_version']}, "
+            f"expected {MANIFEST_VERSION}"
+        )
+    if doc["constants_source"] not in ("paper", "ours"):
+        raise ManifestError(
+            f"manifest {stem!r}: constants_source must be 'paper' or 'ours', "
+            f"got {doc['constants_source']!r}"
+        )
+    if not isinstance(doc["outputs"], dict) or not doc["outputs"]:
+        raise ManifestError(f"manifest {stem!r} records no outputs")
+    if not isinstance(doc["parents"], dict):
+        raise ManifestError(f"manifest {stem!r}: parents must be an object")
+    for filename, recorded in doc["outputs"].items():
+        path = store.artifact_path(filename)
+        if not path.is_file():
+            raise ManifestError(f"manifest {stem!r}: output {filename!r} is missing")
+        actual = ArtifactStore.file_sha256(path)
+        if actual != recorded:
+            raise ManifestError(
+                f"manifest {stem!r}: output {filename!r} hash mismatch "
+                f"(recorded {recorded[:12]}..., found {actual[:12]}...)"
+            )
+    payload_path = store.cache_path(doc["key"])
+    if not payload_path.is_file():
+        raise ManifestError(
+            f"manifest {stem!r}: cached payload {doc['key'][:12]}... is missing"
+        )
+    actual = ArtifactStore.file_sha256(payload_path)
+    if actual != doc["payload_sha256"]:
+        raise ManifestError(
+            f"manifest {stem!r}: cached payload {doc['key'][:12]}... is corrupted "
+            f"(recorded {doc['payload_sha256'][:12]}..., found {actual[:12]}...)"
+        )
+
+
+def check_manifests(store: ArtifactStore) -> int:
+    """Validate every manifest under the store; returns the count."""
+    count = 0
+    for stem, doc in store.manifests():
+        if doc is None:
+            raise ManifestError(f"manifest {stem!r} is unreadable or malformed")
+        validate_manifest(doc, store, stem)
+        count += 1
+    return count

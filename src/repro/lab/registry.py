@@ -1,0 +1,111 @@
+"""Decorator-based registration and discovery of experiment specs.
+
+Modules in :mod:`repro.experiments` declare their artifacts with the
+:func:`experiment` decorator; the CLI and runner discover them here.
+Registration order is preserved (it is the order ``repro-edge list``
+prints and the order ``all`` emits artifacts), and re-registering a
+name is a typed error so two modules cannot silently shadow each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from ..errors import LabError
+from .spec import ExperimentSpec, Param, Unit, UnitDef
+
+__all__ = [
+    "experiment",
+    "register",
+    "get_spec",
+    "available_experiments",
+    "default_units",
+    "validate_params",
+    "unregister",
+]
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    if spec.name in _REGISTRY:
+        raise LabError(f"experiment {spec.name!r} is already registered")
+    for dep_name, _ in spec.deps:
+        if dep_name not in _REGISTRY:
+            raise LabError(
+                f"experiment {spec.name!r} depends on unregistered {dep_name!r}"
+            )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def experiment(
+    name: str,
+    title: str,
+    *,
+    params: Iterable[Param] = (),
+    renderers: Mapping[str, Callable] | None = None,
+    deps: Iterable[tuple[str, Mapping[str, Any]]] = (),
+    default_units: Iterable[UnitDef] = (),
+) -> Callable[[Callable], Callable]:
+    """Register the decorated compute function as an experiment spec.
+
+    The decorated function keeps working as a plain callable; the spec
+    is attached as ``fn.spec`` for tests and introspection.
+    """
+
+    def wrap(fn: Callable) -> Callable:
+        spec = ExperimentSpec(
+            name=name,
+            title=title,
+            compute=fn,
+            renderers=dict(renderers or {}),
+            params=tuple(params),
+            deps=tuple((d, dict(p)) for d, p in deps),
+            default_units=tuple(default_units),
+        )
+        register(spec)
+        fn.spec = spec
+        return fn
+
+    return wrap
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise LabError(
+            f"unknown experiment {name!r} (known: {sorted(_REGISTRY)})"
+        ) from None
+
+
+def available_experiments() -> tuple[str, ...]:
+    """Registered spec names in registration order."""
+    return tuple(_REGISTRY)
+
+
+def validate_params(name: str, params: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    return get_spec(name).validate_params(params)
+
+
+def default_units(names: Iterable[str] | None = None) -> list[Unit]:
+    """Expand the default units of the given specs (all specs if None)."""
+    units: list[Unit] = []
+    for name in names if names is not None else available_experiments():
+        spec = get_spec(name)
+        for ud in spec.default_units:
+            units.append(
+                Unit(
+                    spec=spec.name,
+                    params=spec.validate_params(ud.params),
+                    outputs=ud.outputs,
+                    stem=ud.stem,
+                )
+            )
+    return units
+
+
+def unregister(name: str) -> None:
+    """Remove a spec (test hook; not part of the public surface)."""
+    _REGISTRY.pop(name, None)

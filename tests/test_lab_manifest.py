@@ -1,0 +1,115 @@
+"""Provenance manifests: schema, hashes, end-to-end validation."""
+
+import pytest
+
+from repro import lab
+from repro.errors import ManifestError
+
+import repro.experiments  # noqa: F401
+
+
+@pytest.fixture
+def run_store(tmp_path):
+    """One cheap spec run into a store, manifest and all."""
+    spec = lab.ExperimentSpec(
+        name="t_mani",
+        title="manifest probe",
+        compute=lambda params, inputs: {"v": params["x"]},
+        renderers={"ascii": lambda d: f"v={d['v']}\n"},
+        params=(
+            lab.Param("x", int, default=4),
+            lab.Param("source", str, default="paper", choices=("ours", "paper")),
+            lab.Param("seed", int, default=7),
+        ),
+        default_units=(lab.UnitDef({}, (("t_mani.txt", "ascii"),)),),
+        code_fingerprint="d" * 64,
+    )
+    lab.register(spec)
+    store = lab.ArtifactStore(tmp_path)
+    lab.run_units(lab.default_units(["t_mani"]), store)
+    yield spec, store
+    lab.unregister("t_mani")
+
+
+class TestBuildAndValidate:
+    def test_manifest_fields(self, run_store):
+        spec, store = run_store
+        doc = store.read_manifest("t_mani")
+        assert doc["manifest_version"] == lab.MANIFEST_VERSION
+        assert doc["spec"] == "t_mani"
+        assert doc["constants_source"] == "paper"  # from the source param
+        assert doc["seed"] == 7  # from the seed param
+        assert doc["code_fingerprint"] == "d" * 64
+        assert doc["params"] == {"x": 4, "source": "paper", "seed": 7}
+        assert list(doc["outputs"]) == ["t_mani.txt"]
+        assert doc["cached"] is False
+        from repro import __version__
+
+        assert doc["repro_version"] == __version__
+
+    def test_validates_clean(self, run_store):
+        _, store = run_store
+        lab.validate_manifest(store.read_manifest("t_mani"), store, "t_mani")
+        assert lab.check_manifests(store) == 1
+
+    def test_missing_field_rejected(self, run_store):
+        _, store = run_store
+        doc = store.read_manifest("t_mani")
+        del doc["outputs"]
+        with pytest.raises(ManifestError):
+            lab.validate_manifest(doc, store, "t_mani")
+
+    def test_bad_constants_source_rejected(self, run_store):
+        _, store = run_store
+        doc = store.read_manifest("t_mani")
+        doc["constants_source"] = "vibes"
+        with pytest.raises(ManifestError):
+            lab.validate_manifest(doc, store, "t_mani")
+
+    def test_output_tamper_detected(self, run_store):
+        _, store = run_store
+        store.artifact_path("t_mani.txt").write_text("tampered\n")
+        with pytest.raises(ManifestError, match="hash mismatch"):
+            lab.validate_manifest(store.read_manifest("t_mani"), store, "t_mani")
+
+    def test_output_deletion_detected(self, run_store):
+        _, store = run_store
+        store.artifact_path("t_mani.txt").unlink()
+        with pytest.raises(ManifestError, match="missing"):
+            lab.validate_manifest(store.read_manifest("t_mani"), store, "t_mani")
+
+    def test_payload_tamper_detected(self, run_store):
+        _, store = run_store
+        doc = store.read_manifest("t_mani")
+        store.cache_path(doc["key"]).write_text("{}")
+        with pytest.raises(ManifestError, match="corrupted"):
+            lab.validate_manifest(doc, store, "t_mani")
+
+    def test_unreadable_manifest_fails_check(self, run_store):
+        _, store = run_store
+        store.manifest_path("t_mani").write_text("{nope")
+        with pytest.raises(ManifestError, match="unreadable"):
+            lab.check_manifests(store)
+
+
+class TestDefaultRunManifests:
+    def test_all_defaults_validate(self, tmp_path):
+        store = lab.ArtifactStore(tmp_path)
+        report = lab.run_units(lab.default_units(), store)
+        n = lab.check_manifests(store)
+        # every unit with declared outputs has one validating manifest
+        assert n == sum(1 for o in report.outcomes if o.outputs)
+
+    def test_summary_records_parents(self, tmp_path):
+        store = lab.ArtifactStore(tmp_path)
+        report = lab.run_units(lab.default_units(), store)
+        doc = store.read_manifest("summary")
+        keys = {o.key for o in report.outcomes}
+        assert set(doc["parents"]) == {s for s, _ in lab.get_spec("summary").deps}
+        assert doc["parents"]["figure1"] in keys
+
+    def test_paper_units_flag_paper_source(self, tmp_path):
+        store = lab.ArtifactStore(tmp_path)
+        lab.run_units(lab.default_units(["table1"]), store)
+        assert store.read_manifest("table1_ours")["constants_source"] == "ours"
+        assert store.read_manifest("table1_paper")["constants_source"] == "paper"
