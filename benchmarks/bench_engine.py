@@ -17,12 +17,15 @@ import timeit
 
 import numpy as np
 
+import json
+
 from repro.autodiff import DenseLayer, ReLULayer, SequentialNet, run_schedule
 from repro.autodiff.executor import CheckpointedResult
 from repro.autodiff.loss import softmax_cross_entropy
 from repro.autodiff.meter import MemoryMeter
-from repro.checkpointing import revolve_schedule
+from repro.checkpointing import ChainSpec, revolve_schedule
 from repro.checkpointing.actions import ActionKind
+from repro.engine import SimBackend, compile_schedule, execute
 from repro.errors import ExecutionError
 from repro.obs import get_tracer
 
@@ -33,6 +36,14 @@ SLOTS = 3
 REPEATS = 15
 NUMBER = 3
 MAX_RATIO = 1.05
+
+# Compiled sim-path gate: a warm CompiledProgram (the common case — the
+# program cache hands the same object to every ρ probe) must beat the
+# interpreted action loop by at least MIN_SPEEDUP; 10x is the target.
+SIM_DEPTH = 256
+SIM_SLOTS = 8
+MIN_SPEEDUP = 5.0
+TARGET_SPEEDUP = 10.0
 
 
 def reference_run_schedule(net, schedule, x, labels, loss_fn=softmax_cross_entropy):
@@ -218,4 +229,62 @@ def test_vm_executor_within_five_percent(outdir):
 
     assert ratio <= MAX_RATIO, (
         f"VM executor overhead {ratio:.3f}x exceeds {MAX_RATIO:.2f}x budget"
+    )
+
+
+def test_compiled_sim_speedup(outdir):
+    sch = revolve_schedule(SIM_DEPTH, SIM_SLOTS)
+    spec = ChainSpec.homogeneous(SIM_DEPTH)
+    program = compile_schedule(sch)
+
+    # Identical stats first — the vectorized path is only a speedup if it
+    # is also bit-identical to the interpreted loop.
+    assert execute(sch, SimBackend(spec), compiled=program) == execute(
+        sch, SimBackend(spec)
+    )
+
+    ratio_warm, t_interp, t_warm = paired_ratio(
+        lambda: execute(sch, SimBackend(spec)),
+        lambda: execute(sch, SimBackend(spec), compiled=program),
+    )
+    ratio_cold, _, t_cold = paired_ratio(
+        lambda: execute(sch, SimBackend(spec)),
+        lambda: execute(sch, SimBackend(spec), compiled=compile_schedule(sch)),
+    )
+    speedup_warm = 1.0 / ratio_warm
+    speedup_cold = 1.0 / ratio_cold
+
+    payload = {
+        "workload": {
+            "strategy": "revolve",
+            "length": SIM_DEPTH,
+            "slots": SIM_SLOTS,
+            "actions": len(sch.actions),
+        },
+        "interpreted_ms": t_interp * 1e3,
+        "compiled_warm_ms": t_warm * 1e3,
+        "compiled_cold_ms": t_cold * 1e3,
+        "speedup_warm": speedup_warm,
+        "speedup_cold": speedup_cold,
+        "gate": MIN_SPEEDUP,
+        "target": TARGET_SPEEDUP,
+        "repeats": REPEATS,
+        "number": NUMBER,
+    }
+    (outdir / "BENCH_engine.json").write_text(json.dumps(payload, indent=1) + "\n")
+
+    report = (
+        f"sim execute, revolve l={SIM_DEPTH} c={SIM_SLOTS} "
+        f"({len(sch.actions)} actions)\n"
+        f"interpreted loop: {t_interp * 1e3:.3f} ms\n"
+        f"compiled (warm): {t_warm * 1e3:.3f} ms  ({speedup_warm:.1f}x)\n"
+        f"compiled (cold, incl. compile): {t_cold * 1e3:.3f} ms  "
+        f"({speedup_cold:.1f}x)\n"
+        f"gate {MIN_SPEEDUP:.0f}x, target {TARGET_SPEEDUP:.0f}x\n"
+    )
+    print(report)
+
+    assert speedup_warm >= MIN_SPEEDUP, (
+        f"compiled sim path only {speedup_warm:.1f}x over interpreted "
+        f"(gate {MIN_SPEEDUP:.0f}x)"
     )

@@ -67,13 +67,17 @@ from .multilevel import (
 from .strategies import (
     CacheInfo,
     CheckpointStrategy,
+    ProgramCacheInfo,
     available_strategies,
     clear_schedule_cache,
     get_strategy,
+    program_cache_info,
+    program_key_digest,
     register,
     resolve_strategy_name,
     rho_from_extra,
     schedule_cache_info,
+    set_program_store,
     uniform_rho,
 )
 from .planner import (
@@ -87,6 +91,7 @@ from .planner import (
     rho_for_budget,
     rho_for_slots,
     slots_for_rho,
+    slots_for_rhos,
 )
 
 __all__ = [
@@ -148,8 +153,12 @@ __all__ = [
     "rho_from_extra",
     "uniform_rho",
     "CacheInfo",
+    "ProgramCacheInfo",
     "schedule_cache_info",
+    "program_cache_info",
+    "program_key_digest",
     "clear_schedule_cache",
+    "set_program_store",
     "regime_table",
     "ParetoPoint",
     "pareto_frontier",
@@ -159,6 +168,7 @@ __all__ = [
     "TrainingPlan",
     "rho_for_slots",
     "slots_for_rho",
+    "slots_for_rhos",
     "memory_for_slots",
     "max_slots_in_budget",
     "memory_curve",

@@ -16,6 +16,7 @@ heterogeneous chains (real ResNet block chains) feed the general DP in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..errors import ScheduleError
 from ..graph import LinearChain, SegmentChain
@@ -125,8 +126,25 @@ class ChainSpec:
         """Bytes to hold every activation ``x_1..x_l`` simultaneously."""
         return sum(self.act_bytes[1:])
 
+    @cached_property
+    def fwd_prefix(self) -> tuple[float, ...]:
+        """Running forward cost: ``fwd_prefix[i]`` = cost of ``F_1 .. F_i``.
+
+        Accumulated left to right with plain float addition, so both
+        :meth:`advance_cost` and the vectorized compiled-program path
+        (which turns this tuple into an array and takes differences)
+        produce bit-identical costs.
+        """
+        prefix = [0.0]
+        running = 0.0
+        for c in self.fwd_cost:
+            running += c
+            prefix.append(running)
+        return tuple(prefix)
+
     def advance_cost(self, start: int, stop: int) -> float:
         """Cost of computing ``x_{start+1} .. x_stop`` from ``x_start``."""
         if not 0 <= start < stop <= self.length:
             raise ScheduleError(f"invalid advance {start}->{stop} on chain of length {self.length}")
-        return sum(self.fwd_cost[start:stop])
+        prefix = self.fwd_prefix
+        return prefix[stop] - prefix[start]

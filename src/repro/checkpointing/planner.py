@@ -25,6 +25,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from ..errors import MemoryBudgetError, PlanningError
 from .revolve import extra_forwards, min_slots_for_extra
@@ -35,6 +38,7 @@ __all__ = [
     "TrainingPlan",
     "rho_for_slots",
     "slots_for_rho",
+    "slots_for_rhos",
     "memory_for_slots",
     "max_slots_in_budget",
     "memory_curve",
@@ -59,6 +63,49 @@ def slots_for_rho(l: int, rho: float, bwd_ratio: float = 1.0) -> int:
         raise PlanningError(f"recompute factor must be >= 1, got {rho}")
     budget = (rho - 1.0) * l * (1.0 + bwd_ratio)
     return min_slots_for_extra(l, budget)
+
+
+@lru_cache(maxsize=256)
+def _extras_by_slots(l: int) -> tuple[int, ...]:
+    """``extra_forwards(l, c)`` for ``c`` in ``1 .. max(1, l-1)``.
+
+    Non-increasing in ``c`` and ending at 0 (``c >= l-1`` needs no
+    recomputation), which is what lets a whole ρ grid be inverted with
+    one sorted search.
+    """
+    return tuple(extra_forwards(l, c) for c in range(1, max(1, l - 1) + 1))
+
+
+def slots_for_rhos(
+    l: int,
+    rhos: list[float] | tuple[float, ...],
+    bwd_ratio: float = 1.0,
+) -> list[int]:
+    """Batched :func:`slots_for_rho`: minimal slots for every ρ at once.
+
+    One pass builds the extra-forwards table for ``l``; a single
+    ``np.searchsorted`` then answers the whole grid, replacing one
+    binary search (each re-evaluating the β closed form per probe) per
+    ρ.  Element-for-element identical to calling :func:`slots_for_rho`
+    in a loop, including the validation error for any ρ < 1.
+    """
+    for rho in rhos:
+        if rho < 1.0:
+            raise PlanningError(f"recompute factor must be >= 1, got {rho}")
+    if not rhos:
+        return []
+    extras = _extras_by_slots(l)
+    n = len(extras)
+    # Reversed, extras are non-decreasing: index c-1 holds extra(l, c),
+    # so position j in the reversed view is extra(l, n - j).
+    ascending = np.asarray(extras[::-1], dtype=np.float64)
+    budgets = np.asarray(
+        [(rho - 1.0) * l * (1.0 + bwd_ratio) for rho in rhos], dtype=np.float64
+    )
+    # Count extras <= budget; the smallest feasible c is n - count + 1.
+    # count >= 1 always because extra(l, max(1, l-1)) == 0 <= budget.
+    counts = np.searchsorted(ascending, budgets, side="right")
+    return [int(n - count + 1) for count in counts]
 
 
 def memory_for_slots(c: int, fixed_bytes: float, slot_bytes: float) -> float:
@@ -103,19 +150,22 @@ def memory_curve(
     rhos: list[float] | tuple[float, ...],
     bwd_ratio: float = 1.0,
 ) -> list[PlanPoint]:
-    """Peak memory as a function of ρ — one Figure 1 line."""
-    points = []
-    for rho in rhos:
-        c = slots_for_rho(l, rho, bwd_ratio)
-        points.append(
-            PlanPoint(
-                rho=rho,
-                slots=c,
-                extra_forwards=extra_forwards(l, c),
-                memory_bytes=memory_for_slots(c, fixed_bytes, slot_bytes),
-            )
+    """Peak memory as a function of ρ — one Figure 1 line.
+
+    The whole ρ grid is inverted in one :func:`slots_for_rhos` batch;
+    ``extra_forwards`` values come from the same precomputed table.
+    """
+    slots = slots_for_rhos(l, tuple(rhos), bwd_ratio)
+    extras = _extras_by_slots(l)
+    return [
+        PlanPoint(
+            rho=rho,
+            slots=c,
+            extra_forwards=extras[c - 1],
+            memory_bytes=memory_for_slots(c, fixed_bytes, slot_bytes),
         )
-    return points
+        for rho, c in zip(rhos, slots)
+    ]
 
 
 def rho_for_budget(

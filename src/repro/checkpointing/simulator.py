@@ -96,13 +96,22 @@ class ExecutionStats:
         return self.effective_time(spec) / spec.baseline_time
 
 
-def simulate(schedule: Schedule, spec: ChainSpec | None = None) -> ExecutionStats:
+def simulate(
+    schedule: Schedule,
+    spec: ChainSpec | None = None,
+    *,
+    compiled=None,
+) -> ExecutionStats:
     """Execute ``schedule`` against ``spec`` and return measurements.
 
     Raises :class:`~repro.errors.ExecutionError` on any invariant
     violation: advancing backwards, restoring an empty slot, exceeding
     the slot budget, snapshotting into an occupied slot, adjoints out of
     order, or finishing with backwards pending.
+
+    ``compiled`` (a :class:`~repro.engine.program.CompiledProgram` built
+    from ``schedule``) routes execution through the engine's compiled
+    fast path; the returned stats are bit-identical either way.
     """
     # Imported lazily: repro.engine builds on this package's leaf modules.
     from ..engine.sim import SimBackend
@@ -116,7 +125,7 @@ def simulate(schedule: Schedule, spec: ChainSpec | None = None) -> ExecutionStat
         from ..engine.hooks import sim_event_hook
 
         on_step = sim_event_hook(tracer)
-    run = execute(schedule, SimBackend(spec), on_step=on_step)
+    run = execute(schedule, SimBackend(spec), on_step=on_step, compiled=compiled)
     stats = ExecutionStats(
         strategy=run.strategy,
         length=run.length,

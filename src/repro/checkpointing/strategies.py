@@ -44,8 +44,11 @@ them for O(1) planning.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..errors import PlanningError
 from ..obs import get_metrics, get_tracer
@@ -64,6 +67,9 @@ from .uniform import (
     uniform_schedule,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - layering: engine imports this package
+    from ..engine.program import CompiledProgram
+
 __all__ = [
     "CheckpointStrategy",
     "register",
@@ -73,8 +79,12 @@ __all__ = [
     "rho_from_extra",
     "uniform_rho",
     "CacheInfo",
+    "ProgramCacheInfo",
     "schedule_cache_info",
+    "program_cache_info",
     "clear_schedule_cache",
+    "set_program_store",
+    "program_key_digest",
 ]
 
 
@@ -115,11 +125,97 @@ class CacheInfo:
     stats: int
 
 
+@dataclass(frozen=True)
+class ProgramCacheInfo:
+    """Snapshot of the compiled-program cache layer counters.
+
+    ``hits``/``misses`` count in-memory lookups; ``store_hits`` counts
+    programs rehydrated from the attached content-addressed store and
+    ``store_writes`` programs persisted to it (so
+    ``misses - store_hits`` is the number of actual compilations).
+    """
+
+    hits: int
+    misses: int
+    store_hits: int
+    store_writes: int
+    programs: int
+
+
 #: Shared metric names for the cache's hit/miss counters — the bespoke
 #: integers the cache used to keep now live in the obs registry, where
 #: exported traces and summaries pick them up alongside everything else.
 CACHE_HITS = "ckpt.schedule_cache.hits"
 CACHE_MISSES = "ckpt.schedule_cache.misses"
+
+#: Metric names for the compiled-program layer.
+PROGRAM_CACHE_HITS = "ckpt.program_cache.hits"
+PROGRAM_CACHE_MISSES = "ckpt.program_cache.misses"
+PROGRAM_STORE_HITS = "ckpt.program_store.hits"
+PROGRAM_STORE_WRITES = "ckpt.program_store.writes"
+
+#: Attached cross-process program store (see :func:`set_program_store`).
+_PROGRAM_STORE = None
+_PROGRAM_STORE_LOCK = threading.Lock()
+
+
+def program_key_digest(key: tuple) -> str:
+    """Stable address of a compiled program for a given cache key.
+
+    Derived from the canonical JSON of the cache key (the same
+    ``(strategy, l[, c])`` tuple the schedule cache uses) plus the
+    payload format version — NOT from the program bytes, so the store
+    can be probed before the schedule is ever built.  Integrity of what
+    the address returns is enforced separately by the payload's content
+    digest (see :func:`repro.engine.program.program_from_payload`).
+    """
+    from ..engine.program import PROGRAM_VERSION
+
+    canon = json.dumps(["program", PROGRAM_VERSION, list(key)], separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+class _PathProgramStore:
+    """Lazy :class:`~repro.lab.store.ArtifactStore` wrapper for a path.
+
+    Lets callers attach a plain directory without this module importing
+    :mod:`repro.lab` at module scope (checkpointing sits below lab).
+    """
+
+    def __init__(self, root) -> None:
+        self._root = root
+        self._store = None
+
+    def _resolve(self):
+        if self._store is None:
+            from ..lab.store import ArtifactStore
+
+            self._store = ArtifactStore(self._root)
+        return self._store
+
+    def load_program(self, digest: str):
+        return self._resolve().load_program(digest)
+
+    def save_program(self, digest: str, payload: dict):
+        return self._resolve().save_program(digest, payload)
+
+
+def set_program_store(store):
+    """Attach a cross-process store for compiled programs; return the old one.
+
+    ``store`` may be ``None`` (detach), any object with
+    ``load_program(digest) -> dict | None`` and
+    ``save_program(digest, payload)``, or a filesystem path (wrapped in
+    a lazily constructed :class:`~repro.lab.store.ArtifactStore`).
+    """
+    global _PROGRAM_STORE
+    with _PROGRAM_STORE_LOCK:
+        previous = _PROGRAM_STORE
+        if store is None or hasattr(store, "load_program"):
+            _PROGRAM_STORE = store
+        else:
+            _PROGRAM_STORE = _PathProgramStore(store)
+    return previous
 
 
 class _ScheduleCache:
@@ -138,6 +234,7 @@ class _ScheduleCache:
         self._lock = threading.Lock()
         self._schedules: dict[tuple, Schedule] = {}
         self._stats: dict[tuple, ExecutionStats] = {}
+        self._programs: dict[tuple, "CompiledProgram"] = {}
 
     def _get(self, table: dict, key: tuple):
         with self._lock:
@@ -165,6 +262,66 @@ class _ScheduleCache:
         with self._lock:
             return self._stats.setdefault(key, built)
 
+    def program(self, key: tuple, get_schedule) -> "CompiledProgram":
+        """Compiled program for ``key``: memory, then store, then compile.
+
+        A store hit rehydrates (and revalidates) the persisted payload
+        and also seeds the schedule table with the decompiled schedule,
+        so workers sharing a store skip both the build and the compile.
+        A corrupt or stale payload is silently recompiled — the store is
+        a cache, never a source of truth.
+        """
+        from ..engine.program import (
+            compile_schedule,
+            decompile,
+            program_from_payload,
+        )
+        from ..errors import ReproError
+
+        with self._lock:
+            found = self._programs.get(key)
+        m = get_metrics()
+        tracer = get_tracer()
+        if found is not None:
+            m.counter(PROGRAM_CACHE_HITS).inc()
+            if tracer.enabled:
+                tracer.event("hit", category="cache", key=f"program:{key}")
+            return found
+        m.counter(PROGRAM_CACHE_MISSES).inc()
+        if tracer.enabled:
+            tracer.event("miss", category="cache", key=f"program:{key}")
+        store = _PROGRAM_STORE
+        built = None
+        if store is not None:
+            payload = store.load_program(program_key_digest(key))
+            if payload is not None:
+                try:
+                    built = program_from_payload(payload)
+                except ReproError:
+                    built = None
+                if built is not None:
+                    m.counter(PROGRAM_STORE_HITS).inc()
+        if built is None:
+            built = compile_schedule(get_schedule())
+            if store is not None:
+                store.save_program(program_key_digest(key), built.to_payload())
+                m.counter(PROGRAM_STORE_WRITES).inc()
+        with self._lock:
+            built = self._programs.setdefault(key, built)
+            self._schedules.setdefault(key, decompile(built))
+        return built
+
+    def program_info(self) -> ProgramCacheInfo:
+        m = get_metrics()
+        with self._lock:
+            return ProgramCacheInfo(
+                hits=m.counter(PROGRAM_CACHE_HITS).value,
+                misses=m.counter(PROGRAM_CACHE_MISSES).value,
+                store_hits=m.counter(PROGRAM_STORE_HITS).value,
+                store_writes=m.counter(PROGRAM_STORE_WRITES).value,
+                programs=len(self._programs),
+            )
+
     def info(self) -> CacheInfo:
         m = get_metrics()
         with self._lock:
@@ -179,9 +336,14 @@ class _ScheduleCache:
         with self._lock:
             self._schedules.clear()
             self._stats.clear()
+            self._programs.clear()
         m = get_metrics()
         m.counter(CACHE_HITS).reset()
         m.counter(CACHE_MISSES).reset()
+        m.counter(PROGRAM_CACHE_HITS).reset()
+        m.counter(PROGRAM_CACHE_MISSES).reset()
+        m.counter(PROGRAM_STORE_HITS).reset()
+        m.counter(PROGRAM_STORE_WRITES).reset()
 
 
 _CACHE = _ScheduleCache()
@@ -192,8 +354,13 @@ def schedule_cache_info() -> CacheInfo:
     return _CACHE.info()
 
 
+def program_cache_info() -> ProgramCacheInfo:
+    """Counters and entry count of the compiled-program cache layer."""
+    return _CACHE.program_info()
+
+
 def clear_schedule_cache() -> None:
-    """Drop every cached schedule/stats entry and reset the counters."""
+    """Drop every cached schedule/stats/program entry, reset all counters."""
     _CACHE.clear()
 
 
@@ -228,9 +395,28 @@ class CheckpointStrategy:
         """Memoized :meth:`build_schedule` through the shared cache."""
         return _CACHE.schedule(self.cache_key(l, c), lambda: self.build_schedule(l, c))
 
+    def compiled(self, l: int, c: int) -> "CompiledProgram":
+        """Memoized flat-IR compilation of the cached schedule.
+
+        Served from the in-memory layer, then the attached
+        cross-process store (:func:`set_program_store`), and only then
+        compiled from a freshly built schedule.
+        """
+        return _CACHE.program(self.cache_key(l, c), lambda: self.schedule(l, c))
+
     def measured(self, l: int, c: int) -> ExecutionStats:
-        """Memoized virtual-machine measurements of the cached schedule."""
-        return _CACHE.stats(self.cache_key(l, c), lambda: simulate(self.schedule(l, c)))
+        """Memoized virtual-machine measurements of the cached schedule.
+
+        Runs through the compiled fast path — the stats are bit-identical
+        to interpreting the schedule (property-tested), but the program
+        is compiled once and shareable across processes.
+        """
+
+        def build() -> ExecutionStats:
+            program = self.compiled(l, c)
+            return simulate(self.schedule(l, c), compiled=program)
+
+        return _CACHE.stats(self.cache_key(l, c), build)
 
     # -- predictions (override with closed forms where they exist) --------
     def extra_forwards(self, l: int, c: int) -> int:

@@ -143,6 +143,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disk-tier storage profile (tiered backend)",
     )
     sp.add_argument("--seed", type=int, default=0, help="net/batch seed (tensor backend)")
+    sp.add_argument(
+        "--compile",
+        action="store_true",
+        help="print the schedule's compiled program IR (opcodes, costs, digest)",
+    )
     sp.add_argument("--trace", metavar="FILE", help="write a Chrome-trace of the run to FILE")
 
     sp = sub.add_parser("campaign", help="in-situ adaptation campaign simulation")
@@ -464,6 +469,39 @@ def _exec(args: argparse.Namespace) -> str:
         f"Engine run: strategy={sch.strategy} l={l} slots={c} "
         f"backend={args.backend}"
     )
+
+    if getattr(args, "compile", False):
+        import numpy as np
+
+        from .engine import OPCODE_NAMES
+        from .units import KB
+
+        program = strat.compiled(l, c)
+        spec = ChainSpec.homogeneous(l, act_bytes=int(args.act_kb * KB))
+        run = execute(sch, SimBackend(spec), compiled=program)
+        counts = ", ".join(
+            f"{name} {n}"
+            for name, n in zip(OPCODE_NAMES, np.bincount(program.opcodes, minlength=5))
+            if n
+        )
+        fmt = dict(threshold=64, edgeitems=24, max_line_width=78)
+        array_indent = "\n" + " " * 22
+        return "\n".join(
+            [
+                f"Compiled program: strategy={program.strategy} l={l} slots={c}",
+                f"  ops               : {len(program)} ({counts})",
+                "  opcodes           : "
+                + np.array2string(program.opcodes, **fmt).replace("\n", array_indent),
+                "  args              : "
+                + np.array2string(program.args, **fmt).replace("\n", array_indent),
+                f"  cost totals       : forward {run.forward_cost:g} + "
+                f"replay {run.replay_cost:g} + backward {run.backward_cost:g} "
+                f"= {run.forward_cost + run.replay_cost + run.backward_cost:g}",
+                f"  peak              : {run.peak_slots} slots, "
+                f"{run.peak_bytes:,} live bytes",
+                f"  digest            : sha256:{program.digest}",
+            ]
+        )
 
     if args.backend == "tensor":
         import numpy as np

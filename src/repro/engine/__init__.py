@@ -21,6 +21,18 @@ wrappers over this engine.
 
 from .backend import Backend, BaseBackend
 from .hooks import action_span_hook, compose, sim_event_hook
+from .program import (
+    OP_ADJOINT,
+    OP_ADVANCE,
+    OP_FREE,
+    OP_RESTORE,
+    OP_SNAPSHOT,
+    OPCODE_NAMES,
+    CompiledProgram,
+    compile_schedule,
+    decompile,
+    program_from_payload,
+)
 from .sim import SimBackend
 from .stats import RunStats, StepStats, TierStats
 from .tensor import TensorBackend
@@ -36,6 +48,16 @@ __all__ = [
     "SimBackend",
     "TensorBackend",
     "TieredBackend",
+    "CompiledProgram",
+    "compile_schedule",
+    "decompile",
+    "program_from_payload",
+    "OPCODE_NAMES",
+    "OP_ADVANCE",
+    "OP_SNAPSHOT",
+    "OP_RESTORE",
+    "OP_FREE",
+    "OP_ADJOINT",
     "execute",
     "compose",
     "action_span_hook",

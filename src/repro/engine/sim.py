@@ -60,6 +60,27 @@ class SimBackend(BaseBackend):
         self._peak_bytes = 0
         self._charge()
 
+    def adopt(
+        self,
+        cursor: int,
+        slots: dict[int, int],
+        peak_slot_bytes: int,
+        peak_bytes: int,
+    ) -> None:
+        """Jump to a final machine state computed by a whole-program pass.
+
+        The vectorized compiled-program executor derives the byte
+        timeline without calling the per-action methods; this installs
+        its end state so the backend is indistinguishable from one that
+        interpreted the schedule action by action.
+        """
+        self._cursor = cursor
+        self._slots = dict(slots)
+        if peak_slot_bytes > self._peak_slot_bytes:
+            self._peak_slot_bytes = peak_slot_bytes
+        if peak_bytes > self._peak_bytes:
+            self._peak_bytes = peak_bytes
+
     def advance(self, start: int, stop: int) -> float:
         self._cursor = stop
         cost = self.spec.advance_cost(start, stop)

@@ -22,11 +22,19 @@ The optional ``on_step`` callback receives a
 :class:`~repro.engine.stats.StepStats` after every action.  When it is
 ``None`` the loop skips all per-step bookkeeping beyond the invariants,
 so an untraced run pays no observation overhead.
+
+Passing ``compiled=`` (a :class:`~repro.engine.program.CompiledProgram`
+produced from the same schedule) switches to the compiled fast path:
+invariants were already proven at compile time, so execution dispatches
+on int opcodes with no checks — and on an untraced plain
+:class:`~repro.engine.sim.SimBackend` the whole program is evaluated in
+a handful of NumPy array passes.  Both compiled paths return stats that
+are bit-identical to the interpreted loop.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..checkpointing.actions import ActionKind
 from ..checkpointing.schedule import Schedule
@@ -34,6 +42,9 @@ from ..errors import ExecutionError
 from ..obs.tracer import Tracer
 from .backend import Backend
 from .stats import RunStats, StepStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .program import CompiledProgram
 
 __all__ = ["execute"]
 
@@ -45,15 +56,35 @@ def execute(
     backend: Backend,
     *,
     on_step: StepHook | None = None,
+    compiled: "CompiledProgram | None" = None,
 ) -> RunStats:
     """Run ``schedule`` on ``backend`` and return unified measurements.
 
     Raises :class:`~repro.errors.ExecutionError` on any invariant
     violation; the backend sees only actions whose preconditions hold.
+    When ``compiled`` is given it must have been compiled from
+    ``schedule``; execution then skips per-action invariant checks
+    (they were proven at compile time) and, for an untraced plain
+    :class:`~repro.engine.sim.SimBackend`, runs fully vectorized.
     """
     l = backend.chain_length
     if schedule.length != l:
         raise ExecutionError(f"schedule length {schedule.length} != chain length {l}")
+    if compiled is not None:
+        if not compiled.matches(schedule):
+            raise ExecutionError(
+                f"compiled program {compiled.strategy!r} "
+                f"(l={compiled.length}, slots={compiled.slots}, "
+                f"{len(compiled)} ops) does not match schedule "
+                f"{schedule.strategy!r} (l={schedule.length}, "
+                f"slots={schedule.slots}, {len(schedule.actions)} ops)"
+            )
+        from .program import run_compiled_sim
+        from .sim import SimBackend
+
+        if on_step is None and type(backend) is SimBackend:
+            return run_compiled_sim(compiled, backend)
+        return _execute_compiled(compiled, backend, on_step)
 
     budget = schedule.slots
     cursor = 0  # the chain input x_0 starts in the cursor
@@ -179,6 +210,99 @@ def execute(
         peak_slots=peak_slots,
         snapshots_taken=snapshots_taken,
         restores=restores,
+        transfer_seconds=transfer_seconds,
+        tiers=backend.tier_stats(),
+    )
+
+
+def _execute_compiled(
+    program: "CompiledProgram",
+    backend: Backend,
+    on_step: StepHook | None,
+) -> RunStats:
+    """Checkless int-opcode dispatch for any backend / traced run.
+
+    The compiler proved every invariant and precomputed each action's
+    operand (``aux``) and post-state, so this loop only performs the
+    backend calls — in exactly the order and with exactly the arguments
+    the interpreted loop would use, keeping float accumulation and
+    backend state bit-identical.
+    """
+    from .program import (
+        KIND_BY_OP,
+        OP_ADJOINT,
+        OP_ADVANCE,
+        OP_FREE,
+        OP_RESTORE,
+        OP_SNAPSHOT,
+    )
+
+    l = program.length
+    ops = program.ops_list
+    args = program.args_list
+    aux = program.aux_list
+    forward_cost = 0.0
+    replay_cost = 0.0
+    backward_cost = 0.0
+    transfer_seconds = 0.0
+    observe = on_step is not None
+    now = Tracer.now
+    t0 = 0.0
+
+    backend.begin()
+    for pos in range(len(ops)):
+        op = ops[pos]
+        arg = args[pos]
+        a = aux[pos]
+        if observe:
+            t0 = now()
+        step_transfer = 0.0
+        if op == OP_ADVANCE:
+            forward_cost += backend.advance(a, arg)
+        elif op == OP_SNAPSHOT:
+            step_transfer = backend.snapshot(arg, a)
+            transfer_seconds += step_transfer
+        elif op == OP_RESTORE:
+            step_transfer = backend.restore(arg, a)
+            transfer_seconds += step_transfer
+        elif op == OP_FREE:
+            backend.free(arg, a)
+        else:  # OP_ADJOINT
+            rc, bc = backend.adjoint(arg)
+            replay_cost += rc
+            backward_cost += bc
+        if observe:
+            on_step(
+                StepStats(
+                    pos=pos,
+                    kind=KIND_BY_OP[op],
+                    arg=arg,
+                    cursor=int(program.cursor_after[pos]),
+                    occupied_slots=int(program.occupied_after[pos]),
+                    forward_steps=int(program.forward_cum[pos]),
+                    replay_steps=int(program.replay_cum[pos]),
+                    backwards_done=int(program.backwards_cum[pos]),
+                    slot_bytes=backend.slot_bytes,
+                    live_bytes=backend.live_bytes,
+                    transfer_seconds=step_transfer,
+                    started=t0,
+                )
+            )
+
+    return RunStats(
+        strategy=program.strategy,
+        length=l,
+        forward_steps=program.forward_steps,
+        forward_cost=forward_cost,
+        replay_steps=int(program.adjoint_steps.size),
+        replay_cost=replay_cost,
+        backward_cost=backward_cost,
+        executions=program.executions,
+        peak_slot_bytes=backend.peak_slot_bytes,
+        peak_bytes=backend.peak_bytes,
+        peak_slots=program.peak_slots,
+        snapshots_taken=program.snapshots_taken,
+        restores=program.restores,
         transfer_seconds=transfer_seconds,
         tiers=backend.tier_stats(),
     )

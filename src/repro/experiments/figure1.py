@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..checkpointing import memory_curve
+from ..checkpointing import memory_for_slots, slots_for_rhos
 from ..lab import Param, UnitDef, experiment
 from ..memory import calibrated_models
 from ..units import GB, MB
@@ -92,14 +92,20 @@ def figure1_panel(
         fixed, act = _coefficients(depth, image, source)
         l = depth  # LinearResNet_x depth == nominal layer count
         slot_bytes = batch * act / l
-        pts = memory_curve(l, fixed, slot_bytes, list(rhos))
+        # One batched inversion answers the whole ρ grid for this depth
+        # (a single sorted search over the extra-forwards table instead
+        # of one binary search per ρ probe).
+        slots = slots_for_rhos(l, tuple(rhos))
         out.append(
             Figure1Series(
                 depth=depth,
                 batch_size=batch,
                 image_size=image,
                 source=source,
-                points=tuple((p.rho, p.memory_bytes) for p in pts),
+                points=tuple(
+                    (rho, memory_for_slots(c, fixed, slot_bytes))
+                    for rho, c in zip(rhos, slots)
+                ),
             )
         )
     return out

@@ -79,6 +79,11 @@ class RunReport:
 
     outcomes: list[UnitOutcome] = field(default_factory=list)
     jobs: int = 1
+    #: compiled schedule programs served from a cache layer (in-memory
+    #: or the store's cross-process ``programs/`` directory) this run
+    program_hits: int = 0
+    #: programs actually compiled from scratch this run
+    programs_compiled: int = 0
 
     @property
     def hits(self) -> int:
@@ -103,7 +108,9 @@ class RunReport:
     def summary_line(self) -> str:
         return (
             f"lab cache: {self.hits} hits / {self.misses} misses "
-            f"({self.computed} computed, jobs={self.jobs})"
+            f"({self.computed} computed, jobs={self.jobs}); "
+            f"programs: {self.program_hits} shared / "
+            f"{self.programs_compiled} compiled"
         )
 
 
@@ -136,11 +143,47 @@ def compute_payload(name: str, params: Mapping[str, Any] | None = None) -> Any:
     return compute_unit(spec, validated, inputs)
 
 
-def _pool_compute(spec_name: str, params: dict, inputs: tuple) -> Any:
-    """Process-pool entry point: re-resolve the spec in the worker."""
-    import repro.experiments  # noqa: F401  (populates the registry)
+def _program_counter_names() -> tuple[str, ...]:
+    # Imported lazily: lab stays importable without the checkpointing
+    # package's strategy registry being initialized first.
+    from ..checkpointing import strategies as ckpt
 
-    return compute_unit(get_spec(spec_name), params, inputs)
+    return (
+        ckpt.PROGRAM_CACHE_HITS,
+        ckpt.PROGRAM_CACHE_MISSES,
+        ckpt.PROGRAM_STORE_HITS,
+        ckpt.PROGRAM_STORE_WRITES,
+    )
+
+
+def _pool_compute(
+    spec_name: str,
+    params: dict,
+    inputs: tuple,
+    program_root: str | None = None,
+) -> tuple[Any, dict[str, int]]:
+    """Process-pool entry point: re-resolve the spec in the worker.
+
+    When ``program_root`` is given the worker attaches the run's store
+    as its compiled-program cache, so schedules compiled by any worker
+    (or the parent) are shared rather than rebuilt per process.
+    Returns the payload plus this task's program-counter deltas —
+    counters are snapshotted per task because pool workers are reused.
+    """
+    import repro.experiments  # noqa: F401  (populates the registry)
+    from ..checkpointing import strategies as ckpt
+
+    metrics = get_metrics()
+    names = _program_counter_names()
+    before = {n: metrics.counter(n).value for n in names}
+    previous = ckpt.set_program_store(program_root) if program_root else None
+    try:
+        payload = compute_unit(get_spec(spec_name), params, inputs)
+    finally:
+        if program_root:
+            ckpt.set_program_store(previous)
+    deltas = {n: metrics.counter(n).value - before[n] for n in names}
+    return payload, deltas
 
 
 def expand_units(units: Iterable[Unit]) -> list[Unit]:
@@ -365,42 +408,67 @@ def run_units(
             return None
         return tuple(payloads[k] for _, k in deps)
 
-    if jobs == 1 or len(pending) <= 1:
-        for i, u in enumerate(order):
-            key = keys[i]
-            if key not in pending:
-                continue
-            inputs = ready_inputs(u)
-            assert inputs is not None  # topo order guarantees dep payloads
-            with tracer.span("unit", category="lab", spec=u.spec):
-                t0 = time.perf_counter()
-                payload = compute_unit(specs[u.spec], u.params, inputs)
-                wall = time.perf_counter() - t0
-            del pending[key]
-            finish(key, u, payload, wall, statuses[key])
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            running: dict[Any, tuple[str, Unit, float]] = {}
-            while pending or running:
-                for i, u in enumerate(order):
-                    key = keys[i]
-                    if key not in pending or any(
-                        k == key for k, _, _ in running.values()
-                    ):
-                        continue
-                    inputs = ready_inputs(u)
-                    if inputs is None:
-                        continue
-                    fut = pool.submit(_pool_compute, u.spec, dict(u.params), inputs)
-                    running[fut] = (key, u, time.perf_counter())
-                    del pending[key]
-                done, _ = wait(list(running), return_when=FIRST_COMPLETED)
-                for fut in done:
-                    key, u, t0 = running.pop(fut)
+    # The run's store doubles as a cross-process compiled-program cache:
+    # attach it around the compute phase (parent and workers alike) and
+    # report how many programs were shared vs compiled from scratch.
+    prog_names = _program_counter_names()
+    prog_before = {n: metrics.counter(n).value for n in prog_names}
+    program_root = str(store.root) if store is not None else None
+    if program_root is not None:
+        from ..checkpointing import strategies as _ckpt
+
+        prev_program_store = _ckpt.set_program_store(program_root)
+    try:
+        if jobs == 1 or len(pending) <= 1:
+            for i, u in enumerate(order):
+                key = keys[i]
+                if key not in pending:
+                    continue
+                inputs = ready_inputs(u)
+                assert inputs is not None  # topo order guarantees dep payloads
+                with tracer.span("unit", category="lab", spec=u.spec):
+                    t0 = time.perf_counter()
+                    payload = compute_unit(specs[u.spec], u.params, inputs)
                     wall = time.perf_counter() - t0
-                    with tracer.span("unit", category="lab", spec=u.spec):
-                        payload = fut.result()
-                    finish(key, u, payload, wall, statuses[key])
+                del pending[key]
+                finish(key, u, payload, wall, statuses[key])
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                running: dict[Any, tuple[str, Unit, float]] = {}
+                while pending or running:
+                    for i, u in enumerate(order):
+                        key = keys[i]
+                        if key not in pending or any(
+                            k == key for k, _, _ in running.values()
+                        ):
+                            continue
+                        inputs = ready_inputs(u)
+                        if inputs is None:
+                            continue
+                        fut = pool.submit(
+                            _pool_compute, u.spec, dict(u.params), inputs,
+                            program_root,
+                        )
+                        running[fut] = (key, u, time.perf_counter())
+                        del pending[key]
+                    done, _ = wait(list(running), return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        key, u, t0 = running.pop(fut)
+                        wall = time.perf_counter() - t0
+                        with tracer.span("unit", category="lab", spec=u.spec):
+                            payload, prog_deltas = fut.result()
+                        # Fold the worker's program-cache activity into
+                        # this process's counters so obs and the report
+                        # see the whole run.
+                        for name, delta in prog_deltas.items():
+                            metrics.counter(name).inc(delta)
+                        finish(key, u, payload, wall, statuses[key])
+    finally:
+        if program_root is not None:
+            _ckpt.set_program_store(prev_program_store)
+    prog_delta = {
+        n: metrics.counter(n).value - prog_before[n] for n in prog_names
+    }
 
     # -- emit phase: re-render stale artifacts from cached payloads ----
     for key, unit in rerender.items():
@@ -417,7 +485,12 @@ def run_units(
         if o.status == "hit":
             metrics.counter("lab.cache.hits").inc()
 
-    report = RunReport(jobs=jobs)
+    hits_name, misses_name, store_hits_name, _writes_name = prog_names
+    report = RunReport(
+        jobs=jobs,
+        program_hits=prog_delta[hits_name] + prog_delta[store_hits_name],
+        programs_compiled=prog_delta[misses_name] - prog_delta[store_hits_name],
+    )
     for i, _unit in enumerate(order):
         report.outcomes.append(outcomes[keys[i]])
     return report

@@ -1,0 +1,76 @@
+"""Cross-process sharing of compiled programs through the artifact store.
+
+A cold ``run_units`` compiles programs inside the workers and persists
+them under ``<outdir>/programs/``; a forced warm rerun (fresh worker
+caches) must hydrate from that store instead of recompiling, and the
+hits must surface in both the obs counters and the summary line.
+"""
+
+import re
+
+import pytest
+
+from repro import lab, obs
+from repro.checkpointing.strategies import (
+    PROGRAM_STORE_HITS,
+    PROGRAM_STORE_WRITES,
+)
+
+import repro.experiments  # noqa: F401
+
+SUMMARY_RE = re.compile(
+    r"lab cache: (\d+) hits / (\d+) misses \((\d+) computed, jobs=(\d+)\); "
+    r"programs: (\d+) shared / (\d+) compiled"
+)
+
+
+def _units():
+    # Two distinct units so the process-pool path engages (a single
+    # pending unit is computed inline in the parent).
+    return [
+        lab.Unit("ablation", {"lengths": [21], "slot_budgets": [3]}),
+        lab.Unit("ablation", {"lengths": [34], "slot_budgets": [3]}),
+    ]
+
+
+@pytest.mark.usefixtures("fresh_schedule_cache")
+class TestSerialSharing:
+    def test_cold_run_persists_programs(self, tmp_path):
+        store = lab.ArtifactStore(tmp_path)
+        report = lab.run_units(_units(), store, jobs=1)
+        assert report.programs_compiled >= 1
+        assert report.program_hits >= 0
+        assert list((tmp_path / "programs").glob("*.json"))
+        m = SUMMARY_RE.fullmatch(report.summary_line())
+        assert m and int(m.group(6)) == report.programs_compiled
+
+
+@pytest.mark.usefixtures("fresh_schedule_cache")
+class TestPoolSharing:
+    def test_second_worker_run_hits_shared_store(self, tmp_path):
+        store = lab.ArtifactStore(tmp_path)
+        metrics = obs.get_metrics()
+
+        cold = lab.run_units(_units(), store, jobs=2)
+        assert cold.programs_compiled >= 1
+        assert metrics.counter(PROGRAM_STORE_WRITES).value >= 1
+        persisted = list((tmp_path / "programs").glob("*.json"))
+        assert len(persisted) >= cold.programs_compiled
+
+        # Forced rerun: new workers start with empty in-memory caches, so
+        # every program they need must come from the shared store.
+        h0 = metrics.counter(PROGRAM_STORE_HITS).value
+        warm = lab.run_units(_units(), store, jobs=2, force=True)
+        assert warm.program_hits >= 1
+        assert warm.programs_compiled == 0
+        assert metrics.counter(PROGRAM_STORE_HITS).value - h0 >= 1
+
+        m = SUMMARY_RE.fullmatch(warm.summary_line())
+        assert m is not None
+        assert int(m.group(5)) == warm.program_hits >= 1
+        assert int(m.group(6)) == 0
+
+    def test_no_store_means_no_persistence(self, tmp_path):
+        report = lab.run_units(_units(), None, jobs=2)
+        assert report.programs_compiled >= 1
+        assert not (tmp_path / "programs").exists()

@@ -111,7 +111,10 @@ class TestRunner:
     def test_summary_line(self, tmp_path):
         report = lab.run_units(lab.default_units(["sensitivity"]),
                                lab.ArtifactStore(tmp_path), jobs=2)
-        assert report.summary_line() == "lab cache: 0 hits / 1 misses (1 computed, jobs=2)"
+        assert report.summary_line() == (
+            "lab cache: 0 hits / 1 misses (1 computed, jobs=2); "
+            "programs: 0 shared / 0 compiled"
+        )
 
     def test_parallel_serial_byte_identical(self, tmp_path):
         serial = lab.ArtifactStore(tmp_path / "serial")
