@@ -17,8 +17,6 @@ import timeit
 
 import numpy as np
 
-import json
-
 from repro.autodiff import DenseLayer, ReLULayer, SequentialNet, run_schedule
 from repro.autodiff.executor import CheckpointedResult
 from repro.autodiff.loss import softmax_cross_entropy
@@ -232,7 +230,7 @@ def test_vm_executor_within_five_percent(outdir):
     )
 
 
-def test_compiled_sim_speedup(outdir):
+def test_compiled_sim_speedup(outdir, bench_json):
     sch = revolve_schedule(SIM_DEPTH, SIM_SLOTS)
     spec = ChainSpec.homogeneous(SIM_DEPTH)
     program = compile_schedule(sch)
@@ -271,7 +269,7 @@ def test_compiled_sim_speedup(outdir):
         "repeats": REPEATS,
         "number": NUMBER,
     }
-    (outdir / "BENCH_engine.json").write_text(json.dumps(payload, indent=1) + "\n")
+    bench_json("engine", payload)
 
     report = (
         f"sim execute, revolve l={SIM_DEPTH} c={SIM_SLOTS} "

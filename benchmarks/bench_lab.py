@@ -8,7 +8,8 @@ Two claims the cache and runner must hold:
 * on a multi-core box, a cold run with ``--jobs 4`` beats serial on a
   compute-heavy unit batch (wave-parallel over the process pool).
 
-Writes ``benchmarks/out/lab.txt``.
+Writes ``benchmarks/out/lab.txt`` plus machine-readable
+``out/BENCH_lab.json`` for the perf trajectory.
 """
 
 from __future__ import annotations
@@ -35,7 +36,7 @@ def _heavy_units() -> list[lab.Unit]:
     ]
 
 
-def test_warm_all_is_near_free(tmp_path, outdir):
+def test_warm_all_is_near_free(tmp_path, outdir, bench_json):
     store = lab.ArtifactStore(tmp_path / "all")
     units = lab.default_units()
 
@@ -84,3 +85,19 @@ def test_warm_all_is_near_free(tmp_path, outdir):
     text = "\n".join(lines)
     print("\n" + text)
     (outdir / "lab.txt").write_text(text + "\n")
+
+    bench_json(
+        "lab",
+        {
+            "units": len(cold.outcomes),
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_ratio": ratio,
+            "warm_gate": 0.1,
+            "heavy_serial_s": serial_s,
+            "heavy_parallel_s": par_s,
+            "parallel_speedup": speedup,
+            "parallel_jobs": 4,
+            "cores": cores,
+        },
+    )

@@ -1,7 +1,8 @@
-"""Shared benchmark utilities: artifact output directory."""
+"""Shared benchmark utilities: artifact output directory + JSON emitter."""
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -14,3 +15,20 @@ def outdir() -> pathlib.Path:
     """Directory where benchmarks drop their regenerated artifacts."""
     OUT_DIR.mkdir(exist_ok=True)
     return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_json(outdir):
+    """Emit one machine-readable ``BENCH_<name>.json`` per benchmark.
+
+    ``bench_json("obs", payload)`` writes ``out/BENCH_obs.json`` —
+    the perf-trajectory files CI uploads so runs can be compared over
+    time.  Returns the written path.
+    """
+
+    def write(name: str, payload: dict) -> pathlib.Path:
+        path = outdir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=1) + "\n")
+        return path
+
+    return write

@@ -9,7 +9,8 @@ Usage (installed as both the ``repro-edge`` and ``repro`` scripts)::
     repro-edge list                         # registered experiment specs
     repro-edge show figure1                 # params, renderers, cache key
     repro-edge run figure1 --param panel=d --format csv
-    repro-edge all --jobs 4 [--force] [--manifest-check]
+    repro-edge all --jobs 4 [--force] [--manifest-check] [--telemetry]
+    repro-edge obs report artifacts [--json] [--chrome-trace merged.json]
     repro-edge summary
     repro-edge strategies [--length 24] [--budget 6]
     repro-edge exec [--strategy disk_revolve --backend tiered --trace t.json]
@@ -25,6 +26,12 @@ the same ``--outdir`` recomputes nothing — and ``trace`` wraps any
 other subcommand in the :mod:`repro.obs` tracer and writes the
 exported trace (Chrome ``trace_event`` JSON by default — open it in
 chrome://tracing or https://ui.perfetto.dev).
+
+``--telemetry`` on ``all``/``run`` records per-unit runlogs (worker
+spans, metric deltas, wall/CPU/max-RSS profiles) under
+``<outdir>/telemetry/``; ``obs report`` then renders the campaign
+(ASCII timeline + tables, ``--json``, or a merged ``--chrome-trace``
+with one lane per worker process).
 """
 
 from __future__ import annotations
@@ -101,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--format", dest="fmt", default="ascii", help="output renderer")
     sp.add_argument("--outdir", default=None, help="cache through this artifact directory")
     sp.add_argument("--force", action="store_true", help="recompute even if cached")
+    sp.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record per-unit runlogs under <outdir>/telemetry (needs --outdir)",
+    )
     sp.add_argument("--trace", metavar="FILE", help="write a Chrome-trace of the run to FILE")
 
     sp = sub.add_parser("strategies", help="list registered checkpoint strategies")
@@ -217,6 +229,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="validate every provenance manifest after the run",
     )
+    sp.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record per-unit runlogs + campaign.json under <outdir>/telemetry",
+    )
+
+    sp = sub.add_parser(
+        "obs", help="observability utilities over recorded campaign telemetry"
+    )
+    obs_sub = sp.add_subparsers(dest="obs_command", required=True)
+    rp = obs_sub.add_parser(
+        "report",
+        help="render the campaign telemetry of a --telemetry run directory",
+    )
+    rp.add_argument("outdir", help="artifact directory (or its telemetry/ subdir)")
+    rp.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON instead of text"
+    )
+    rp.add_argument(
+        "--chrome-trace",
+        metavar="FILE",
+        help="also write the merged Chrome trace (one lane per worker) to FILE",
+    )
     return p
 
 
@@ -266,17 +301,23 @@ def _run(args: argparse.Namespace) -> str:
             f"(choose from: {', '.join(sorted(spec.renderers))})"
         )
     if args.outdir is None:
+        if args.telemetry:
+            raise SystemExit("--telemetry needs --outdir (runlogs live under it)")
         return spec.renderers[args.fmt](lab.compute_payload(args.spec, params))
     store = lab.ArtifactStore(args.outdir)
     report = lab.run_units(
-        [lab.Unit(args.spec, params)], store, force=args.force
+        [lab.Unit(args.spec, params)], store,
+        force=args.force, telemetry=args.telemetry,
     )
     payload = store.load_payload(report.outcomes[-1].key)
-    return (
+    out = (
         spec.renderers[args.fmt](payload).rstrip("\n")
         + "\n"
         + report.summary_line()
     )
+    if report.telemetry_dir is not None:
+        out += f"\ntelemetry: {report.telemetry_dir}"
+    return out
 
 
 def _list(_args: argparse.Namespace) -> str:
@@ -324,7 +365,8 @@ def _all(args: argparse.Namespace) -> str:
     store = lab.ArtifactStore(args.outdir)
     jobs = args.jobs if args.jobs is not None else lab.default_jobs()
     report = lab.run_units(
-        lab.default_units(), store, jobs=jobs, force=args.force
+        lab.default_units(), store, jobs=jobs, force=args.force,
+        telemetry=args.telemetry,
     )
     lines = []
     for o in report.outcomes:
@@ -335,7 +377,26 @@ def _all(args: argparse.Namespace) -> str:
         n = lab.check_manifests(store)
         lines.append(f"manifests: {n} valid")
     lines.append(report.summary_line())
+    if report.telemetry_dir is not None:
+        lines.append(f"telemetry: {report.telemetry_dir}")
     return "\n".join(lines)
+
+
+def _obs(args: argparse.Namespace) -> str:
+    """``obs report``: render recorded campaign telemetry."""
+    from .obs import aggregate
+
+    try:
+        campaign = aggregate.load_campaign(args.outdir)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from exc
+    extra = ""
+    if args.chrome_trace:
+        aggregate.write_merged_trace(args.chrome_trace, campaign)
+        extra = f"\nmerged trace written to {args.chrome_trace}"
+    if args.json:
+        return json.dumps(aggregate.campaign_summary(campaign), indent=1) + extra
+    return aggregate.render_report(aggregate.campaign_summary(campaign)) + extra
 
 
 # -- hand-written (non-experiment) commands --------------------------------
@@ -807,6 +868,7 @@ _HANDLERS = {
     "batch-tradeoff": _batch_tradeoff,
     "viewpoint": _viewpoint,
     "trace": lambda a: _trace(a.args),
+    "obs": _obs,
 }
 
 

@@ -61,6 +61,7 @@ def build_manifest(
     wall_time_s: float,
     cached: bool,
     seed: int | None = None,
+    telemetry: Mapping[str, Any] | None = None,
 ) -> dict:
     """Assemble the provenance document for one computed unit.
 
@@ -68,8 +69,12 @@ def build_manifest(
     maps dependency spec names to the cache keys their payloads came
     from.  The constants source is taken from the unit's ``source``
     param when it has one (the paper-vs-ours axis), else ``"ours"``.
+    ``telemetry``, when given (campaign runs with ``--telemetry``),
+    records the unit's runlog reference and resource profile; the field
+    is omitted entirely otherwise so telemetry-disabled manifests are
+    byte-identical to pre-telemetry ones.
     """
-    return {
+    doc = {
         "manifest_version": MANIFEST_VERSION,
         "spec": spec.name,
         "title": spec.title,
@@ -86,6 +91,9 @@ def build_manifest(
         "cached": bool(cached),
         "created_unix": round(time.time(), 3),
     }
+    if telemetry is not None:
+        doc["telemetry"] = dict(telemetry)
+    return doc
 
 
 def validate_manifest(doc: Any, store: ArtifactStore, stem: str = "?") -> None:

@@ -39,6 +39,14 @@ from typing import Any, Iterable, Mapping
 
 from ..errors import ArtifactError, LabError, ManifestError
 from ..obs import get_metrics, get_tracer
+from ..obs.runlog import (
+    TELEMETRY_DIRNAME,
+    UnitCapture,
+    _metric_deltas,
+    _metrics_state,
+    write_campaign_record,
+    write_unit_runlog,
+)
 from .manifest import build_manifest, validate_manifest
 from .registry import get_spec
 from .spec import ExperimentSpec, Unit, unit_key
@@ -65,8 +73,10 @@ class UnitOutcome:
     status: str  # "hit" | "miss" | "corrupt"
     stem: str | None = None
     outputs: tuple[str, ...] = ()  # declared artifact filenames
-    wall_time_s: float = 0.0
+    wall_time_s: float = 0.0  # worker-measured compute time (no queue wait)
     written: tuple[Path, ...] = ()
+    #: resource profile from the computing process (telemetry runs only)
+    profile: dict[str, Any] | None = None
 
     @property
     def computed(self) -> bool:
@@ -84,6 +94,8 @@ class RunReport:
     program_hits: int = 0
     #: programs actually compiled from scratch this run
     programs_compiled: int = 0
+    #: where per-unit runlogs + campaign.json landed (telemetry runs only)
+    telemetry_dir: Path | None = None
 
     @property
     def hits(self) -> int:
@@ -156,19 +168,50 @@ def _program_counter_names() -> tuple[str, ...]:
     )
 
 
+def _captured_compute(
+    spec: ExperimentSpec,
+    params: Mapping[str, Any],
+    inputs: tuple,
+    capture: Mapping[str, Any] | None,
+) -> tuple[Any, float, dict[str, Any] | None]:
+    """Compute one unit, measuring wall time in the computing process.
+
+    Returns ``(payload, wall_s, profile)``.  Wall time is always
+    measured here — around the compute itself, never around pool queue
+    wait.  With ``capture`` (a ``{"key", "parents", "telemetry_root"}``
+    mapping from a ``--telemetry`` run) the compute runs inside a
+    :class:`~repro.obs.runlog.UnitCapture` and its runlog is persisted
+    under the telemetry root before returning.
+    """
+    if capture is None:
+        t0 = time.perf_counter()
+        payload = compute_unit(spec, params, inputs)
+        return payload, time.perf_counter() - t0, None
+    with UnitCapture(
+        key=capture["key"], spec=spec.name,
+        params=params, parents=capture["parents"],
+    ) as cap:
+        payload = compute_unit(spec, params, inputs)
+    write_unit_runlog(capture["telemetry_root"], cap.record)
+    return payload, cap.profile["wall_s"], cap.profile
+
+
 def _pool_compute(
     spec_name: str,
     params: dict,
     inputs: tuple,
     program_root: str | None = None,
-) -> tuple[Any, dict[str, int]]:
+    capture: dict | None = None,
+) -> tuple[Any, dict[str, int], float, dict[str, Any] | None]:
     """Process-pool entry point: re-resolve the spec in the worker.
 
     When ``program_root`` is given the worker attaches the run's store
     as its compiled-program cache, so schedules compiled by any worker
     (or the parent) are shared rather than rebuilt per process.
-    Returns the payload plus this task's program-counter deltas —
-    counters are snapshotted per task because pool workers are reused.
+    Returns the payload, this task's program-counter deltas (counters
+    are snapshotted per task because pool workers are reused), the
+    worker-measured compute wall time, and the unit's resource profile
+    (``None`` unless ``capture`` requested telemetry).
     """
     import repro.experiments  # noqa: F401  (populates the registry)
     from ..checkpointing import strategies as ckpt
@@ -178,12 +221,14 @@ def _pool_compute(
     before = {n: metrics.counter(n).value for n in names}
     previous = ckpt.set_program_store(program_root) if program_root else None
     try:
-        payload = compute_unit(get_spec(spec_name), params, inputs)
+        payload, wall, profile = _captured_compute(
+            get_spec(spec_name), params, inputs, capture
+        )
     finally:
         if program_root:
             ckpt.set_program_store(previous)
     deltas = {n: metrics.counter(n).value - before[n] for n in names}
-    return payload, deltas
+    return payload, deltas, wall, profile
 
 
 def expand_units(units: Iterable[Unit]) -> list[Unit]:
@@ -259,6 +304,7 @@ def _render_and_manifest(
     parents: Mapping[str, str],
     wall_time_s: float,
     cached: bool,
+    telemetry: Mapping[str, Any] | None = None,
 ) -> tuple[Path, ...]:
     """Render every declared output and write the provenance manifest."""
     written: list[Path] = []
@@ -281,7 +327,7 @@ def _render_and_manifest(
                 spec, unit.params, key,
                 outputs=hashes, parents=dict(parents),
                 payload_sha256=ArtifactStore.file_sha256(store.cache_path(key)),
-                wall_time_s=wall_time_s, cached=cached,
+                wall_time_s=wall_time_s, cached=cached, telemetry=telemetry,
             ),
         )
     return tuple(written)
@@ -293,17 +339,28 @@ def run_units(
     *,
     jobs: int = 1,
     force: bool = False,
+    telemetry: bool = False,
 ) -> RunReport:
     """Run a batch of units against a store; returns per-unit outcomes.
 
     With ``store=None`` everything is computed in memory (no caching,
     no artifacts) — useful for one-off ``run <spec>`` invocations.
     ``jobs`` caps process-pool width; 1 (or a single unit) runs inline.
+    ``telemetry=True`` records a runlog (spans, metric deltas, resource
+    profile) per computed unit under ``<store>/telemetry/`` plus one
+    ``campaign.json``, ready for ``repro obs report``; it requires a
+    store.  Off (the default) leaves outputs byte-identical to a
+    pre-telemetry run.
     """
     order = expand_units(units)
     jobs = max(1, int(jobs or 1))
     metrics = get_metrics()
     tracer = get_tracer()
+    if telemetry and store is None:
+        raise LabError("telemetry capture requires an artifact store (outdir)")
+    telemetry_root = str(store.root / TELEMETRY_DIRNAME) if telemetry else None
+    t_start_unix = time.time() if telemetry else 0.0
+    metrics_before = _metrics_state() if telemetry else {}
 
     payloads: dict[str, Any] = {}
     outcomes: dict[str, UnitOutcome] = {}
@@ -368,7 +425,14 @@ def run_units(
                 changed = True
 
     # -- compute phase: wave-parallel over the pool --------------------
-    def finish(key: str, unit: Unit, payload: Any, wall: float, status: str) -> None:
+    def finish(
+        key: str,
+        unit: Unit,
+        payload: Any,
+        wall: float,
+        status: str,
+        profile: dict[str, Any] | None = None,
+    ) -> None:
         payloads[key] = payload
         metrics.counter("lab.cache.misses").inc()
         metrics.histogram("lab.compute_seconds").observe(wall)
@@ -376,16 +440,32 @@ def run_units(
         if store is not None:
             store.save_payload(key, unit.spec, dict(unit.params), payload)
             parents = {n: k for n, k in _dep_keys(specs[unit.spec])}
+            telemetry_ref = None
+            if profile is not None:
+                telemetry_ref = {
+                    "runlog": f"{TELEMETRY_DIRNAME}/{key}.jsonl",
+                    "profile": profile,
+                }
             written = _render_and_manifest(
                 store, unit, specs[unit.spec], key, payload,
                 parents=parents, wall_time_s=wall, cached=False,
+                telemetry=telemetry_ref,
             )
         outcomes[key] = UnitOutcome(
             spec=unit.spec, params=dict(unit.params), key=key,
             status=status, stem=stem_of(unit),
             outputs=tuple(f for f, _ in unit.outputs),
-            wall_time_s=wall, written=written,
+            wall_time_s=wall, written=written, profile=profile,
         )
+
+    def capture_args(key: str, unit: Unit) -> dict | None:
+        if telemetry_root is None:
+            return None
+        return {
+            "key": key,
+            "parents": [k for _, k in _dep_keys(specs[unit.spec])],
+            "telemetry_root": telemetry_root,
+        }
 
     # A computed unit is "corrupt" (rather than a plain miss) when its
     # payload file still exists on disk but failed the integrity check.
@@ -427,19 +507,19 @@ def run_units(
                 inputs = ready_inputs(u)
                 assert inputs is not None  # topo order guarantees dep payloads
                 with tracer.span("unit", category="lab", spec=u.spec):
-                    t0 = time.perf_counter()
-                    payload = compute_unit(specs[u.spec], u.params, inputs)
-                    wall = time.perf_counter() - t0
+                    payload, wall, profile = _captured_compute(
+                        specs[u.spec], u.params, inputs, capture_args(key, u)
+                    )
                 del pending[key]
-                finish(key, u, payload, wall, statuses[key])
+                finish(key, u, payload, wall, statuses[key], profile)
         else:
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                running: dict[Any, tuple[str, Unit, float]] = {}
+                running: dict[Any, tuple[str, Unit]] = {}
                 while pending or running:
                     for i, u in enumerate(order):
                         key = keys[i]
                         if key not in pending or any(
-                            k == key for k, _, _ in running.values()
+                            k == key for k, _ in running.values()
                         ):
                             continue
                         inputs = ready_inputs(u)
@@ -447,22 +527,28 @@ def run_units(
                             continue
                         fut = pool.submit(
                             _pool_compute, u.spec, dict(u.params), inputs,
-                            program_root,
+                            program_root, capture_args(key, u),
                         )
-                        running[fut] = (key, u, time.perf_counter())
+                        running[fut] = (key, u)
                         del pending[key]
                     done, _ = wait(list(running), return_when=FIRST_COMPLETED)
                     for fut in done:
-                        key, u, t0 = running.pop(fut)
-                        wall = time.perf_counter() - t0
-                        with tracer.span("unit", category="lab", spec=u.spec):
-                            payload, prog_deltas = fut.result()
+                        key, u = running.pop(fut)
+                        # The worker measured the compute; the parent
+                        # only collects the result.  Record that as a
+                        # "collect" span — never as unit compute time.
+                        t_collect = time.perf_counter()
+                        payload, prog_deltas, wall, profile = fut.result()
+                        if tracer.enabled:
+                            tracer.record(
+                                "collect", "lab", t_collect, spec=u.spec
+                            )
                         # Fold the worker's program-cache activity into
                         # this process's counters so obs and the report
                         # see the whole run.
                         for name, delta in prog_deltas.items():
                             metrics.counter(name).inc(delta)
-                        finish(key, u, payload, wall, statuses[key])
+                        finish(key, u, payload, wall, statuses[key], profile)
     finally:
         if program_root is not None:
             _ckpt.set_program_store(prev_program_store)
@@ -493,6 +579,48 @@ def run_units(
     )
     for i, _unit in enumerate(order):
         report.outcomes.append(outcomes[keys[i]])
+
+    if telemetry_root is not None:
+        # The parent's run-level view: one campaign.json next to the
+        # unit runlogs, carrying this run's counter/histogram deltas
+        # (worker program-cache activity is already folded in above).
+        deltas = _metric_deltas(metrics_before, _metrics_state())
+        counters = {
+            name: 0
+            for name in (
+                "lab.cache.hits", "lab.cache.misses", "lab.cache.corrupt",
+                *prog_names,
+            )
+        }
+        histograms: dict[str, dict[str, float]] = {}
+        for name, delta in deltas.items():
+            if delta["kind"] == "counter":
+                counters[name] = delta["delta"]
+            else:
+                histograms[name] = {
+                    "count": delta["count"], "sum": delta["sum"]
+                }
+        write_campaign_record(
+            telemetry_root,
+            {
+                "type": "campaign",
+                "jobs": jobs,
+                "t_start_unix": t_start_unix,
+                "t_end_unix": time.time(),
+                "units": [
+                    {
+                        "spec": o.spec,
+                        "key": o.key,
+                        "status": o.status,
+                        "wall_time_s": round(o.wall_time_s, 6),
+                    }
+                    for o in report.outcomes
+                ],
+                "counters": counters,
+                "histograms": histograms,
+            },
+        )
+        report.telemetry_dir = Path(telemetry_root)
     return report
 
 

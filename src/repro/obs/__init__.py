@@ -16,6 +16,14 @@ instrumented hot paths cost only a null check until :func:`tracing`
 (or :func:`set_tracer`) installs a live one.
 """
 
+from .aggregate import (
+    CampaignTelemetry,
+    UnitTelemetry,
+    campaign_summary,
+    load_campaign,
+    merge_chrome_trace,
+    render_report,
+)
 from .export import chrome_trace, summary, to_jsonl, write_chrome_trace, write_jsonl
 from .metrics import (
     Counter,
@@ -25,6 +33,17 @@ from .metrics import (
     get_metrics,
     reset_metrics,
     set_metrics,
+)
+from .runlog import (
+    CAMPAIGN_FILENAME,
+    TELEMETRY_DIRNAME,
+    RunlogTracer,
+    UnitCapture,
+    read_campaign_record,
+    read_unit_runlog,
+    runlog_lines,
+    write_campaign_record,
+    write_unit_runlog,
 )
 from .tracer import (
     NULL_TRACER,
@@ -58,4 +77,19 @@ __all__ = [
     "to_jsonl",
     "write_jsonl",
     "summary",
+    "RunlogTracer",
+    "UnitCapture",
+    "TELEMETRY_DIRNAME",
+    "CAMPAIGN_FILENAME",
+    "runlog_lines",
+    "write_unit_runlog",
+    "read_unit_runlog",
+    "write_campaign_record",
+    "read_campaign_record",
+    "UnitTelemetry",
+    "CampaignTelemetry",
+    "load_campaign",
+    "merge_chrome_trace",
+    "campaign_summary",
+    "render_report",
 ]

@@ -156,8 +156,28 @@ def write_chrome_trace(
 # ---------------------------------------------------------------------------
 
 
+#: Counter families always listed in :func:`summary` (0 when untouched),
+#: so cache behaviour is visible even on runs that never hit a cache.
+_CACHE_COUNTERS = (
+    "ckpt.schedule_cache.hits",
+    "ckpt.schedule_cache.misses",
+    "ckpt.program_cache.hits",
+    "ckpt.program_cache.misses",
+    "ckpt.program_store.hits",
+    "ckpt.program_store.writes",
+    "lab.cache.hits",
+    "lab.cache.misses",
+    "lab.cache.corrupt",
+)
+
+
 def summary(tracer: Tracer | None = None, metrics: Metrics | None = None) -> str:
-    """Per-(category, name) span statistics plus the metrics snapshot."""
+    """Per-(category, name) span statistics plus the metrics snapshot.
+
+    The metrics half is three tables: counters (always including the
+    ``ckpt.*_cache`` / ``lab.cache`` families), gauges, and histograms
+    with mean/p50/p95/max columns.
+    """
     tracer = tracer if tracer is not None else get_tracer()
     metrics = metrics if metrics is not None else get_metrics()
     groups: dict[tuple[str, str], list[float]] = {}
@@ -186,13 +206,31 @@ def summary(tracer: Tracer | None = None, metrics: Metrics | None = None) -> str
         for (cat, name), n in sorted(counts.items()):
             lines.append(f"{cat:<12}{name:<22}{n:>7}")
     snap = metrics.snapshot()
+    counters = {n: i["value"] for n, i in snap.items() if i["kind"] == "counter"}
     if snap:
+        for name in _CACHE_COUNTERS:
+            counters.setdefault(name, 0)
+    if counters:
         lines.append("")
-        lines.append(f"{'metric':<38}{'kind':<11}{'value':>14}")
-        for name, info in snap.items():
-            value = info["mean"] if info["kind"] == "histogram" else info["value"]
-            shown = f"{value:.6g}"
-            if info["kind"] == "histogram":
-                shown = f"{shown} (n={info['count']})"
-            lines.append(f"{name:<38}{info['kind']:<11}{shown:>14}")
+        lines.append(f"{'counter':<38}{'value':>14}")
+        for name, value in sorted(counters.items()):
+            lines.append(f"{name:<38}{value:>14}")
+    gauges = {n: i["value"] for n, i in snap.items() if i["kind"] == "gauge"}
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<38}{'value':>14}")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"{name:<38}{value:>14.6g}")
+    hists = {n: i for n, i in snap.items() if i["kind"] == "histogram"}
+    if hists:
+        lines.append("")
+        lines.append(
+            f"{'histogram':<30}{'count':>7}{'mean':>11}{'p50':>11}"
+            f"{'p95':>11}{'max':>11}"
+        )
+        for name, info in sorted(hists.items()):
+            lines.append(
+                f"{name:<30}{info['count']:>7}{info['mean']:>11.6g}"
+                f"{info['p50']:>11.6g}{info['p95']:>11.6g}{info['max']:>11.6g}"
+            )
     return "\n".join(lines)

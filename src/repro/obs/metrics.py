@@ -82,9 +82,19 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count/sum/min/max/mean) of observed values."""
+    """Streaming summary (count/sum/min/max/mean/percentiles) of values.
 
-    __slots__ = ("name", "_lock", "count", "total", "_min", "_max")
+    Percentiles come from a bounded sample buffer: the first
+    ``SAMPLE_CAP`` observations are kept verbatim, after which new
+    values overwrite a rotating slot — a cheap deterministic reservoir
+    that keeps memory flat on unbounded streams while staying exact for
+    the common case (every histogram in this codebase observes far
+    fewer than the cap per run).
+    """
+
+    SAMPLE_CAP = 4096
+
+    __slots__ = ("name", "_lock", "count", "total", "_min", "_max", "_samples")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -93,14 +103,37 @@ class Histogram:
         self.total = 0.0
         self._min: float | None = None
         self._max: float | None = None
+        self._samples: list[float] = []
 
     def observe(self, value: float) -> None:
         v = float(value)
         with self._lock:
+            if len(self._samples) < self.SAMPLE_CAP:
+                self._samples.append(v)
+            else:
+                self._samples[self.count % self.SAMPLE_CAP] = v
             self.count += 1
             self.total += v
             self._min = v if self._min is None else min(self._min, v)
             self._max = v if self._max is None else max(self._max, v)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) by linear interpolation.
+
+        Exact while ``count <= SAMPLE_CAP``; an approximation over the
+        retained sample window beyond that.  0.0 when empty.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError("percentile q must be in [0, 100]")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
+        rank = (len(ordered) - 1) * q / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
     @property
     def mean(self) -> float:
@@ -120,6 +153,7 @@ class Histogram:
             self.total = 0.0
             self._min = None
             self._max = None
+            self._samples.clear()
 
 
 class Metrics:
@@ -172,6 +206,8 @@ class Metrics:
                     "min": inst.min,
                     "max": inst.max,
                     "mean": inst.mean,
+                    "p50": inst.percentile(50),
+                    "p95": inst.percentile(95),
                 }
         return out
 
