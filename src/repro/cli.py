@@ -80,6 +80,17 @@ def _add_experiment_parsers(sub: argparse._SubParsersAction) -> None:
             help="output renderer (default: ascii)",
         )
         sp.add_argument("--trace", metavar="FILE", help="write a Chrome-trace of the run to FILE")
+        if name == "megafleet":
+            # The megafleet spec additionally takes execution knobs the
+            # cache key must never see: they shard the same computation.
+            sp.add_argument(
+                "--jobs", type=int, default=1,
+                help="worker processes for device shards (default: 1)",
+            )
+            sp.add_argument(
+                "--shard-devices", type=int, default=None,
+                help="devices per shard (rounded up to the 4096 block size)",
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -663,6 +674,32 @@ def _campaign(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _megafleet(args: argparse.Namespace) -> str:
+    """``megafleet``: the registry spec plus --jobs/--shard-devices.
+
+    Same params and renderers as ``run megafleet``, but computed
+    through the sharded engine directly so the process fan-out knobs
+    are available; the output is byte-identical for any jobs/shard
+    choice (the engine's determinism contract).
+    """
+    from .experiments import run_megafleet_payload
+
+    spec = lab.get_spec("megafleet")
+    given = {
+        p.name: getattr(args, f"p_{p.name}")
+        for p in spec.params
+        if getattr(args, f"p_{p.name}") is not None
+    }
+    params = spec.validate_params(given)
+    payload = run_megafleet_payload(
+        params, jobs=args.jobs, shard_devices=args.shard_devices
+    )
+    fmt = args.fmt
+    if fmt is None:
+        fmt = "csv" if getattr(args, "csv", False) else "ascii"
+    return spec.renderers[fmt](payload)
+
+
 def _fleet(args: argparse.Namespace) -> str:
     from .edge import FleetConfig, simulate_fleet
     from .units import GB
@@ -863,6 +900,7 @@ _HANDLERS = {
     "exec": _exec,
     "campaign": _campaign,
     "fleet": _fleet,
+    "megafleet": _megafleet,
     "resilience": _resilience,
     "energy": _energy,
     "batch-tradeoff": _batch_tradeoff,

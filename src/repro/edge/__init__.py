@@ -9,7 +9,7 @@ from .device import (
     RASPBERRY_PI_4,
     Device,
 )
-from .fleet import FleetConfig, FleetDay, FleetResult, simulate_fleet
+from .fleet import FleetConfig, FleetDay, FleetResult, quantize_effective, simulate_fleet
 from .power import (
     EnergyComparison,
     EnergyModel,
@@ -69,5 +69,6 @@ __all__ = [
     "FleetConfig",
     "FleetDay",
     "FleetResult",
+    "quantize_effective",
     "simulate_fleet",
 ]

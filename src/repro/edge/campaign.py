@@ -45,7 +45,21 @@ class LearningCurve:
         if self.scale <= 0:
             raise PlanningError("scale must be positive")
 
-    def accuracy(self, n_images: int) -> float:
+    def accuracy(self, n_images):
+        """Accuracy after ``n_images`` — scalar in, scalar out; array in,
+        array out.
+
+        The scalar path is the historical one (``math.exp``) and is kept
+        bit-for-bit unchanged; the ndarray path evaluates the same
+        closed form with ``np.exp`` so a whole fleet's accuracies cost
+        one vectorized expression instead of a per-node Python loop.
+        The two may differ in the last ulp (libm vs SIMD exp), which is
+        why both fleet engines use the *array* path throughout.
+        """
+        if isinstance(n_images, np.ndarray):
+            if n_images.size and float(n_images.min()) < 0:
+                raise ValueError("image count must be non-negative")
+            return self.ceiling - (self.ceiling - self.floor) * np.exp(-n_images / self.scale)
         if n_images < 0:
             raise ValueError("image count must be non-negative")
         return self.ceiling - (self.ceiling - self.floor) * math.exp(-n_images / self.scale)

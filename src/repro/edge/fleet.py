@@ -37,7 +37,28 @@ from ..errors import PlanningError
 from ..obs import get_metrics, get_tracer
 from .campaign import LearningCurve
 
-__all__ = ["FleetConfig", "FleetDay", "FleetResult", "simulate_fleet"]
+__all__ = [
+    "FleetConfig",
+    "FleetDay",
+    "FleetResult",
+    "quantize_effective",
+    "simulate_fleet",
+]
+
+
+def quantize_effective(effective: np.ndarray) -> np.ndarray:
+    """The one quantization rule for effective sample counts.
+
+    Effective samples (own harvest + federation-borrowed fraction) are
+    fractional; the learning curve is defined on whole images.  Both
+    fleet engines — this legacy loop and :mod:`repro.megafleet` — floor
+    them through this single function before pricing accuracy, so the
+    day-by-day trajectory and the final accuracies cannot quantize
+    differently.  ``np.floor`` is identical to the historical
+    ``int(e)`` truncation for the non-negative values that arise here,
+    but is defined once and vectorized.
+    """
+    return np.floor(effective)
 
 
 @dataclass(frozen=True)
@@ -214,8 +235,7 @@ def simulate_fleet(cfg: FleetConfig) -> FleetResult:
                         day=day,
                         radio_bytes_total=radio,
                     )
-            effective = own + borrowed
-            accs = np.array([cfg.curve.accuracy(int(e)) for e in effective])
+            accs = cfg.curve.accuracy(quantize_effective(own + borrowed))
             days.append(
                 FleetDay(
                     day=day,
@@ -225,7 +245,7 @@ def simulate_fleet(cfg: FleetConfig) -> FleetResult:
                     nodes_up=int(up.sum()),
                 )
             )
-        final = np.array([cfg.curve.accuracy(int(e)) for e in own + borrowed])
+        final = cfg.curve.accuracy(quantize_effective(own + borrowed))
         span.set_tag("radio_bytes_total", radio)
         span.set_tag("mean_final_accuracy", float(final.mean()))
         span.set_tag("crashes_total", int(crashes.sum()))

@@ -39,6 +39,7 @@ from .sensitivity import (
     sensitivity_table,
 )
 from .extended import ExtendedRow, extended_model_rows, extended_model_table
+from .megafleet import megafleet_ascii, megafleet_csv, run_megafleet_payload
 from .summary import SUMMARY_DEPS
 
 __all__ = [
@@ -76,5 +77,8 @@ __all__ = [
     "ExtendedRow",
     "extended_model_rows",
     "extended_model_table",
+    "megafleet_ascii",
+    "megafleet_csv",
+    "run_megafleet_payload",
     "SUMMARY_DEPS",
 ]

@@ -35,6 +35,7 @@ from .runner import (
     compute_unit,
     default_jobs,
     expand_units,
+    pool_map,
     run_units,
 )
 from .spec import (
@@ -71,6 +72,7 @@ __all__ = [
     "UnitOutcome",
     "RunReport",
     "expand_units",
+    "pool_map",
     "run_units",
     "compute_unit",
     "compute_payload",

@@ -60,6 +60,7 @@ __all__ = [
     "compute_unit",
     "compute_payload",
     "default_jobs",
+    "pool_map",
 ]
 
 
@@ -626,3 +627,28 @@ def run_units(
 
 def default_jobs() -> int:
     return os.cpu_count() or 1
+
+
+def pool_map(fn, arg_tuples, jobs: int = 1) -> list:
+    """Order-preserving process-pool map over a flat task list.
+
+    The simpler sibling of :func:`run_units` for callers with no
+    dependency structure or cache — e.g. the megafleet engine fanning
+    device shards out.  Results come back in submission order no matter
+    which worker finishes first, so a parallel run reduces byte-
+    identically to a serial one.  ``fn`` must be a picklable module-
+    level callable; ``jobs <= 1`` (or a single task) runs inline.
+    """
+    arg_tuples = list(arg_tuples)
+    jobs = max(1, int(jobs or 1))
+    if jobs == 1 or len(arg_tuples) <= 1:
+        return [fn(*args) for args in arg_tuples]
+    results: list = [None] * len(arg_tuples)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(arg_tuples))) as pool:
+        futures = {pool.submit(fn, *args): i for i, args in enumerate(arg_tuples)}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                results[futures[fut]] = fut.result()
+    return results

@@ -1,0 +1,60 @@
+"""Vectorized, event-driven simulation of 10^6+ heterogeneous devices.
+
+The paper frames edge training as a *fleet* problem — Array-of-Things
+nodes with duty cycles, crash/rejoin dynamics and communication budgets
+— and the ROADMAP's north star is "millions of users".  The legacy
+:func:`~repro.edge.fleet.simulate_fleet` walks every node every day in
+Python; this package scales the same model up three ways:
+
+* :mod:`~repro.megafleet.compat` — the legacy engine vectorized with an
+  *identical* RNG stream (golden-tested bit-exact), for apples-to-
+  apples validation and benchmarking;
+* :mod:`~repro.megafleet.engine` — the native engine: struct-of-arrays
+  state, closed-form harvest accrual between events, a day-bucketed
+  event heap (quiet days are free), heterogeneous
+  :class:`~repro.megafleet.config.DeviceCohort` mixes, and
+  deterministic process sharding through the lab pool;
+* :mod:`~repro.megafleet.rng` — counter-based per-device random
+  streams, the reason shard layout and job count cannot change a single
+  simulated outcome.
+
+See ``docs/megafleet.md`` for the architecture and the determinism
+contract.
+"""
+
+from .compat import simulate_fleet_vectorized
+from .config import (
+    DeviceCohort,
+    MegaFleetConfig,
+    STORAGE_PROFILES,
+    model_bytes,
+    preset_config,
+)
+from .engine import (
+    BLOCK,
+    CohortStats,
+    MegaFleetDay,
+    MegaFleetResult,
+    run_megafleet,
+    shard_tasks,
+)
+from .events import CRASH, FEDERATION, REPORT, DayEventQueue
+
+__all__ = [
+    "BLOCK",
+    "CRASH",
+    "FEDERATION",
+    "REPORT",
+    "CohortStats",
+    "DayEventQueue",
+    "DeviceCohort",
+    "MegaFleetConfig",
+    "MegaFleetDay",
+    "MegaFleetResult",
+    "STORAGE_PROFILES",
+    "model_bytes",
+    "preset_config",
+    "run_megafleet",
+    "shard_tasks",
+    "simulate_fleet_vectorized",
+]

@@ -1,0 +1,96 @@
+"""Vectorized legacy fleet: same RNG stream, no Python inner loops.
+
+:func:`simulate_fleet_vectorized` consumes a plain
+:class:`~repro.edge.fleet.FleetConfig` and reproduces
+:func:`~repro.edge.fleet.simulate_fleet` *exactly* — same seeded
+``default_rng`` stream, same per-day state updates, same
+:class:`~repro.edge.fleet.FleetResult` down to the last bit — while
+replacing the per-crash Python loop and per-node federation loop with
+array expressions.  The golden test pins the two engines device-for-
+device; this module is both the bridge that proves the megafleet
+machinery against the legacy semantics and the "vectorized" row of the
+``bench_fleet`` throughput comparison.
+
+Stream-exactness notes (verified empirically, relied on below):
+
+* ``rng.geometric(p, size=k)`` consumes the stream identically to ``k``
+  sequential scalar ``rng.geometric(p)`` calls, so the legacy per-struck
+  outage loop can be one batched draw;
+* elementwise float arithmetic (``own[struck] - snapshotted[struck]``,
+  the federation ``(total - own) / (n - 1)`` repricing) is bitwise equal
+  to the legacy per-index scalar arithmetic;
+* both engines price accuracy through the shared ndarray
+  :meth:`~repro.edge.campaign.LearningCurve.accuracy` path, because
+  ``np.exp`` and ``math.exp`` may differ in the last ulp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..edge.fleet import FleetConfig, FleetDay, FleetResult, quantize_effective
+
+__all__ = ["simulate_fleet_vectorized"]
+
+
+def simulate_fleet_vectorized(cfg: FleetConfig) -> FleetResult:
+    """Bit-exact vectorized replay of the legacy fleet simulation."""
+    rng = np.random.default_rng(cfg.seed)
+    n = cfg.n_nodes
+    scale = cfg.crossings_per_day_mean / cfg.traffic_shape
+    node_rates = rng.gamma(cfg.traffic_shape, scale, size=n)
+    own = np.zeros(n)
+    borrowed = np.zeros(n)
+    snapshotted = np.zeros(n)
+    down_until = np.zeros(n, dtype=np.int64)
+    crashes = np.zeros(n, dtype=np.int64)
+    lost = np.zeros(n)
+    downtime = np.zeros(n, dtype=np.int64)
+    radio = 0
+    days: list[FleetDay] = []
+    for day in range(1, cfg.days + 1):
+        up = down_until <= day
+        crossings = rng.poisson(node_rates)
+        own += np.where(up, crossings * cfg.images_per_crossing, 0.0)
+        if cfg.crash_rate_per_day:
+            up_idx = np.flatnonzero(up)
+            struck = up_idx[rng.random(up_idx.size) < cfg.crash_rate_per_day]
+            if struck.size:
+                lost[struck] += own[struck] - snapshotted[struck]
+                own[struck] = snapshotted[struck]
+                crashes[struck] += 1
+                if cfg.outage_days_mean > 0:
+                    # One batched draw == the legacy per-node scalar loop.
+                    outages = rng.geometric(
+                        min(1.0, 1.0 / cfg.outage_days_mean), size=struck.size
+                    ).astype(np.int64)
+                else:
+                    outages = np.zeros(struck.size, dtype=np.int64)
+                down_until[struck] = day + 1 + outages
+                downtime[struck] += outages
+                up = down_until <= day
+            if day % cfg.snapshot_period_days == 0:
+                snapshotted[up] = own[up]
+        if cfg.federation_period and day % cfg.federation_period == 0:
+            total = own.sum()
+            borrowed = cfg.transfer_value * (total - own) / max(1, n - 1)
+            radio += 2 * cfg.model_bytes * n
+        accs = cfg.curve.accuracy(quantize_effective(own + borrowed))
+        days.append(
+            FleetDay(
+                day=day,
+                mean_accuracy=float(accs.mean()),
+                min_accuracy=float(accs.min()),
+                radio_bytes_total=radio,
+                nodes_up=int(up.sum()),
+            )
+        )
+    final = cfg.curve.accuracy(quantize_effective(own + borrowed))
+    return FleetResult(
+        days=tuple(days),
+        final_accuracies=tuple(float(a) for a in final),
+        radio_bytes_total=radio,
+        crashes=tuple(int(c) for c in crashes),
+        lost_samples=tuple(float(x) for x in lost),
+        downtime_days=tuple(int(d) for d in downtime),
+    )

@@ -168,6 +168,38 @@ class TestExtensionCommands:
         assert "faults" in out and "crashes" in out and "samples lost" in out
 
 
+class TestMegafleet:
+    def test_summary_output(self, capsys):
+        out = run(capsys, "megafleet", "--devices", "5000", "--days", "15")
+        assert "Megafleet: 5,000 devices over 15 days" in out
+        assert "pi3-sd" in out and "jetson-emmc" in out
+        assert "totals:" in out
+
+    def test_jobs_do_not_change_the_output(self, capsys):
+        argv = ("megafleet", "--devices", "9000", "--days", "12",
+                "--federation-period", "4", "--seed", "2")
+        serial = run(capsys, *argv, "--jobs", "1", "--shard-devices", "4096")
+        sharded = run(capsys, *argv, "--jobs", "2", "--shard-devices", "4096")
+        assert serial == sharded
+
+    def test_uniform_preset_and_csv(self, capsys):
+        out = run(
+            capsys, "megafleet", "--preset", "uniform", "--devices", "2000",
+            "--days", "10", "--report-every", "2", "--format", "csv",
+        )
+        lines = out.strip().splitlines()
+        assert lines[0] == "day,mean_accuracy,min_accuracy,devices_up,radio_bytes_total"
+        assert len(lines) == 6  # days 2,4,6,8,10
+
+    def test_matches_cached_run_path(self, capsys):
+        """The hand-written command and ``run megafleet`` agree."""
+        direct = run(capsys, "megafleet", "--devices", "3000", "--days", "10",
+                     "--jobs", "2")
+        via_run = run(capsys, "run", "megafleet", "--param", "devices=3000",
+                      "--param", "days=10")
+        assert direct == via_run
+
+
 class TestResilience:
     def test_report_recovers_young_daly(self, capsys):
         out = run(capsys, "resilience", "--trials", "10")

@@ -22,7 +22,7 @@ class TestListShow:
         out = run(capsys, "list")
         for name in lab.available_experiments():
             assert name in out
-        assert "9 registered" in out
+        assert "10 registered" in out
 
     def test_show_figure1(self, capsys):
         out = run(capsys, "show", "figure1")

@@ -138,3 +138,51 @@ class TestFleetFaults:
         assert len(events) == res.total_crashes
         assert all(e.category == "fault" for e in events)
         assert {"day", "node", "lost_samples", "rejoin_day"} <= set(events[0].tags)
+
+
+class TestFleetValidationEdges:
+    def test_subunit_outage_mean_clamps_to_one_day(self):
+        """outage_days_mean < 1 clamps the geometric's p to 1: every
+        outage is exactly one extra day, never zero or fractional."""
+        res = simulate_fleet(
+            cfg(days=60, crash_rate_per_day=0.2, outage_days_mean=0.3)
+        )
+        assert res.total_crashes > 0
+        assert sum(res.downtime_days) == res.total_crashes  # one day each
+
+    def test_outage_mean_exactly_one_behaves_like_subunit(self):
+        """The clamp boundary: mean=1.0 also gives p=1, so the two
+        configs share crash counts (same stream) and downtime."""
+        lo = simulate_fleet(cfg(days=60, crash_rate_per_day=0.2, outage_days_mean=0.3))
+        one = simulate_fleet(cfg(days=60, crash_rate_per_day=0.2, outage_days_mean=1.0))
+        assert lo.crashes == one.crashes
+        assert lo.downtime_days == one.downtime_days
+
+    def test_crash_on_snapshot_day_keeps_prior_snapshot(self):
+        """A crash fires before the day's durable write: work since the
+        *previous* snapshot is lost even when the crash day itself is a
+        snapshot day, so sparse cadences leak more per crash."""
+        sparse = simulate_fleet(
+            cfg(n_nodes=200, days=60, crash_rate_per_day=0.1, snapshot_period_days=5)
+        )
+        assert sparse.total_crashes > 0
+        # Mean harvest is hundreds of images/day; if the crash-day
+        # snapshot were (wrongly) taken first, per-crash loss would be
+        # bounded by a single day's harvest.
+        assert sparse.total_lost_samples / sparse.total_crashes > 1000.0
+
+    def test_snapshot_every_day_loses_at_most_one_day(self):
+        res = simulate_fleet(
+            cfg(n_nodes=200, days=60, crash_rate_per_day=0.1, snapshot_period_days=1)
+        )
+        assert res.total_crashes > 0
+        # crossings 60/day x 18 img: one lost day is ~1080 on average
+        assert res.total_lost_samples / res.total_crashes < 3000.0
+
+    def test_quantize_effective_matches_int_truncation(self):
+        import numpy as np
+
+        from repro.edge import quantize_effective
+
+        e = np.array([0.0, 0.4, 1.0, 17.9, 1234.5])
+        assert quantize_effective(e).tolist() == [float(int(x)) for x in e]

@@ -53,10 +53,15 @@ def _tele_spec(name, deps=(), sleep_s=0.0):
 
 @pytest.fixture
 def tele_specs():
-    """Three registered custom specs: a <- b, plus independent c."""
+    """Three registered custom specs: a <- b, plus independent c.
+
+    a and b sleep so the a->b chain's measured wall time dominates c's
+    by orders of magnitude: the critical-path assertion must not hinge
+    on scheduler noise between near-zero-cost units.
+    """
     names = ("t_cam_a", "t_cam_b", "t_cam_c")
-    lab.register(_tele_spec("t_cam_a"))
-    lab.register(_tele_spec("t_cam_b", deps=(("t_cam_a", {}),)))
+    lab.register(_tele_spec("t_cam_a", sleep_s=0.05))
+    lab.register(_tele_spec("t_cam_b", deps=(("t_cam_a", {}),), sleep_s=0.05))
     lab.register(_tele_spec("t_cam_c"))
     try:
         yield names
