@@ -6,16 +6,33 @@ The package exposes:
 * an action IR (:mod:`~repro.checkpointing.actions`) and
   :class:`Schedule` container;
 * strategies: Revolve (optimal binomial), uniform
-  (``checkpoint_sequential``), √l (Chen), and exact heterogeneous DPs —
-  all behind one registry (:func:`get_strategy`,
-  :func:`available_strategies`) with a memoized schedule cache;
+  (``checkpoint_sequential``), √l (Chen), exact heterogeneous DPs, and
+  the joint rematerialization+paging planner over the tier-aware slot
+  alphabet (:mod:`~repro.checkpointing.joint`) — all behind one registry
+  (:func:`get_strategy`, :func:`available_strategies`) with a memoized
+  schedule cache;
 * a validating :func:`simulate` virtual machine measuring cost and peak
   memory of any schedule;
 * the planner mapping recompute factor ρ ↔ slots ↔ bytes (Figure 1) and
   choosing strategies for device budgets.
 """
 
-from .actions import Action, ActionKind, adjoint, advance, free, restore, snapshot
+from .actions import (
+    TIER_DISK,
+    TIER_RAM,
+    TIER_SLOT_STRIDE,
+    Action,
+    ActionKind,
+    adjoint,
+    advance,
+    free,
+    local_slot,
+    restore,
+    snapshot,
+    tier_name,
+    tier_of_slot,
+    tier_slot,
+)
 from .chainspec import ChainSpec
 from .schedule import Schedule
 from .realchain import RealChainPlan, plan_real_chain, working_set_bytes
@@ -64,6 +81,16 @@ from .multilevel import (
     disk_revolve_splits,
     simulate_tiered,
 )
+from .joint import (
+    EnergyObjective,
+    JointObjective,
+    JointPlan,
+    TimeObjective,
+    UnitCostObjective,
+    joint_cost,
+    joint_plan,
+    joint_schedule,
+)
 from .strategies import (
     CacheInfo,
     CheckpointStrategy,
@@ -81,9 +108,11 @@ from .strategies import (
     uniform_rho,
 )
 from .planner import (
+    FrontierPoint,
     PlanPoint,
     TrainingPlan,
     compare_strategies,
+    joint_frontier,
     max_slots_in_budget,
     memory_curve,
     memory_for_slots,
@@ -102,6 +131,13 @@ __all__ = [
     "restore",
     "free",
     "adjoint",
+    "TIER_SLOT_STRIDE",
+    "TIER_RAM",
+    "TIER_DISK",
+    "tier_of_slot",
+    "tier_slot",
+    "local_slot",
+    "tier_name",
     "ChainSpec",
     "Schedule",
     "FORMAT_VERSION",
@@ -145,6 +181,14 @@ __all__ = [
     "disk_revolve_schedule",
     "TieredStats",
     "simulate_tiered",
+    "JointObjective",
+    "UnitCostObjective",
+    "TimeObjective",
+    "EnergyObjective",
+    "JointPlan",
+    "joint_plan",
+    "joint_cost",
+    "joint_schedule",
     "CheckpointStrategy",
     "register",
     "get_strategy",
@@ -166,6 +210,8 @@ __all__ = [
     "slots_logarithmic_bound",
     "PlanPoint",
     "TrainingPlan",
+    "FrontierPoint",
+    "joint_frontier",
     "rho_for_slots",
     "slots_for_rho",
     "slots_for_rhos",

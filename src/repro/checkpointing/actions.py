@@ -21,6 +21,22 @@ A schedule is a flat list of actions driving an abstract reversal machine
 Conventions follow Griewank & Walther's Revolve: the adjoint always
 replays its own step's forward, so a schedule's *pure* forward count (sum
 of ADVANCE lengths) is the classic Revolve cost ``P(l, c)``.
+
+Tiers
+-----
+
+Slot ids encode *where a checkpoint lives*.  The id space is partitioned
+into bands of :data:`TIER_SLOT_STRIDE` consecutive ids: tier ``t`` owns
+``[t·stride, (t+1)·stride)``, so tier 0 (:data:`TIER_RAM`) is plain RAM
+slots ``0, 1, 2, ...`` and tier 1 (:data:`TIER_DISK`) starts at
+``1_000_000`` — the historical ``DISK_SLOT_BASE`` convention of
+:mod:`repro.checkpointing.multilevel`, now shared as one alphabet by the
+schedule VM (:mod:`repro.engine.vm`), the tiered backend
+(:mod:`repro.engine.tiered`) and the flat program IR
+(:mod:`repro.engine.program`).  :func:`tier_of_slot` /
+:func:`tier_slot` / :func:`local_slot` convert between the flat id and
+the (tier, local) pair; the encoding stays well inside int32 so compiled
+programs round-trip paged schedules exactly.
 """
 
 from __future__ import annotations
@@ -30,7 +46,69 @@ from dataclasses import dataclass
 
 from ..errors import ScheduleError
 
-__all__ = ["ActionKind", "Action", "advance", "snapshot", "restore", "free", "adjoint"]
+__all__ = [
+    "ActionKind",
+    "Action",
+    "advance",
+    "snapshot",
+    "restore",
+    "free",
+    "adjoint",
+    "TIER_SLOT_STRIDE",
+    "TIER_RAM",
+    "TIER_DISK",
+    "TIER_NAMES",
+    "tier_of_slot",
+    "tier_slot",
+    "local_slot",
+    "tier_name",
+]
+
+#: Width of each tier's slot-id band; tier ``t`` owns ``[t·stride, (t+1)·stride)``.
+TIER_SLOT_STRIDE = 1_000_000
+
+#: Tier index of ordinary in-memory checkpoint slots.
+TIER_RAM = 0
+
+#: Tier index of the (flash/SD/eMMC) paging tier.
+TIER_DISK = 1
+
+#: Display names of the known tiers, indexed by tier id.
+TIER_NAMES: tuple[str, ...] = ("memory", "disk")
+
+
+def tier_of_slot(slot: int) -> int:
+    """Tier index encoded in a flat slot id."""
+    if slot < 0:
+        raise ScheduleError(f"slot id must be >= 0, got {slot}")
+    return slot // TIER_SLOT_STRIDE
+
+
+def tier_slot(tier: int, local: int) -> int:
+    """Flat slot id of the ``local``-th slot on ``tier``."""
+    if tier < 0:
+        raise ScheduleError(f"tier must be >= 0, got {tier}")
+    if not 0 <= local < TIER_SLOT_STRIDE:
+        raise ScheduleError(
+            f"local slot must be in [0, {TIER_SLOT_STRIDE}), got {local}"
+        )
+    return tier * TIER_SLOT_STRIDE + local
+
+
+def local_slot(slot: int) -> int:
+    """Position of a flat slot id within its tier's band."""
+    if slot < 0:
+        raise ScheduleError(f"slot id must be >= 0, got {slot}")
+    return slot % TIER_SLOT_STRIDE
+
+
+def tier_name(tier: int) -> str:
+    """Display name of a tier (``tier2``, ``tier3``, ... beyond the known two)."""
+    if tier < 0:
+        raise ScheduleError(f"tier must be >= 0, got {tier}")
+    if tier < len(TIER_NAMES):
+        return TIER_NAMES[tier]
+    return f"tier{tier}"
 
 
 class ActionKind(enum.Enum):

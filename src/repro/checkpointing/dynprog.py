@@ -14,6 +14,20 @@ programs over segments ``[i, j)`` of a :class:`~.chainspec.ChainSpec`:
   is in bytes; sizes are conservatively quantized to ``levels`` integer
   units (ceiling), so a reported plan never exceeds the byte budget.
 
+Both are thin parameterizations of one memoized core,
+:class:`SegmentDP`, over the recurrence
+
+    solve(i, j, b) = min( quad(i, j),
+                          min_m [ adv(i, m) + solve(m, j, b − units(m))
+                                            + solve(i, m, b) ] )
+
+where the two families differ only in how a budget translates to *free
+capacity* (:meth:`SegmentDP.free_units`) and what a snapshot at ``m``
+*charges* against it (:meth:`SegmentDP.snapshot_units`).  The joint
+rematerialization+paging planner (:mod:`repro.checkpointing.joint`)
+instantiates the same core with objective-priced step costs for its
+in-RAM segment reversals.
+
 Both return optimal extra-forward cost and can materialize executable
 schedules.  Complexity is O(l³·c) / O(l³·levels); intended for block
 chains (l ≲ 60), not the homogenized 152-step chains (use Revolve there).
@@ -29,6 +43,8 @@ from .chainspec import ChainSpec
 from .schedule import Schedule
 
 __all__ = [
+    "SegmentDP",
+    "SlotSegmentDP",
     "opt_forwards_hetero",
     "hetero_schedule",
     "quantize_sizes",
@@ -40,12 +56,19 @@ _INF = float("inf")
 
 
 # ---------------------------------------------------------------------------
-# Heterogeneous costs, slot-count budget
+# The parameterized segment-DP core
 # ---------------------------------------------------------------------------
 
 
-class _HeteroDP:
-    """Memoized segment DP with per-step forward costs."""
+class SegmentDP:
+    """Memoized segment DP over per-step forward costs.
+
+    Subclasses define the capacity model via :meth:`free_units` (how many
+    snapshot units a budget leaves free inside a segment) and
+    :meth:`snapshot_units` (what parking ``x_m`` charges).  ``solve``
+    returns the optimal pure-advance cost and the argmin first checkpoint;
+    :meth:`emit` materializes the corresponding actions.
+    """
 
     def __init__(self, fwd_cost: tuple[float, ...]) -> None:
         self.u = fwd_cost
@@ -56,6 +79,25 @@ class _HeteroDP:
             self.prefix.append(self.prefix[-1] + ucost)
         self._memo: dict[tuple[int, int, int], tuple[float, int]] = {}
 
+    # -- capacity model (the only per-family hooks) ------------------------
+    def free_units(self, budget: int) -> int:
+        """Units available for snapshots strictly inside a segment."""
+        raise NotImplementedError
+
+    def snapshot_units(self, m: int) -> int:
+        """Units a snapshot of ``x_m`` charges against the budget."""
+        raise NotImplementedError
+
+    def can_split(self, budget: int) -> bool:
+        """Whether any interior checkpoint is even worth considering.
+
+        A pure fast-path guard: families where a snapshot always costs at
+        least one unit skip straight to the quadratic reversal when
+        nothing is free (zero-size snapshots make it family-specific).
+        """
+        return True
+
+    # -- shared scaffolding ------------------------------------------------
     def adv(self, i: int, j: int) -> float:
         """Cost of advancing from x_i to x_j."""
         return self.prefix[j] - self.prefix[i]
@@ -69,30 +111,121 @@ class _HeteroDP:
         return total
 
     def child_budget(self, budget: int, m: int) -> int:
-        """Right segment gets one fewer slot (its input occupies one)."""
-        return budget - 1
+        """Budget left for the right part after parking ``x_m``."""
+        return budget - self.snapshot_units(m)
 
-    def solve(self, i: int, j: int, c: int) -> tuple[float, int]:
-        """(min advance cost, best first-checkpoint m; 0 = no split)."""
+    def solve(self, i: int, j: int, budget: int) -> tuple[float, int]:
+        """(min advance cost, best first-checkpoint m; 0 = no split).
+
+        ``budget`` is interpreted through :meth:`free_units` — the
+        segment input ``x_i`` is charged by the caller, never here.
+        """
         if j - i <= 1:
             return 0.0, 0
-        if c <= 1:
+        if not self.can_split(budget):
             return self.quad(i, j), 0
-        key = (i, j, c)
+        key = (i, j, budget)
         hit = self._memo.get(key)
         if hit is not None:
             return hit
+        avail = self.free_units(budget)
         best, best_m = self.quad(i, j), 0
         for m in range(i + 1, j):
+            units = self.snapshot_units(m)
+            if units > avail:
+                continue
             val = (
                 self.adv(i, m)
-                + self.solve(m, j, c - 1)[0]
-                + self.solve(i, m, c)[0]
+                + self.solve(m, j, budget - units)[0]
+                + self.solve(i, m, budget)[0]
             )
             if val < best - 1e-12:
                 best, best_m = val, m
         self._memo[key] = (best, best_m)
         return best, best_m
+
+    def emit(
+        self,
+        actions: list[Action],
+        i: int,
+        j: int,
+        budget: int,
+        base_slot: int,
+        pool: list[int],
+    ) -> None:
+        """Emit the reversal of ``[i, j)`` with ``x_i`` in ``base_slot``.
+
+        ``pool`` holds the free slot ids; tail-iterates on the left
+        segment so recursion depth is bounded by the checkpoint count.
+        """
+        while True:
+            if j - i == 0:
+                return
+            if j - i == 1:
+                actions.append(restore(base_slot))
+                actions.append(adjoint(i + 1))
+                return
+            _, m = self.solve(i, j, budget)
+            if m == 0 or not pool:
+                for b in range(j, i, -1):
+                    actions.append(restore(base_slot))
+                    if b - 1 > i:
+                        actions.append(advance(b - 1))
+                    actions.append(adjoint(b))
+                return
+            actions.append(restore(base_slot))
+            actions.append(advance(m))
+            s = pool.pop()
+            actions.append(snapshot(s))
+            self.emit(actions, m, j, self.child_budget(budget, m), s, pool)
+            actions.append(free(s))
+            pool.append(s)
+            j = m
+
+
+class SlotSegmentDP(SegmentDP):
+    """Slot-count capacity: every activation occupies exactly one slot.
+
+    ``budget`` counts slots *including* the one holding the segment input
+    (Revolve's ``P(l, c)`` convention), so a segment with budget ``c``
+    has ``c − 1`` slots free for interior checkpoints.
+    """
+
+    def free_units(self, budget: int) -> int:
+        return budget - 1
+
+    def snapshot_units(self, m: int) -> int:
+        return 1
+
+    def can_split(self, budget: int) -> bool:
+        return budget > 1
+
+
+class _HeteroDP(SlotSegmentDP):
+    """Heterogeneous step costs under a slot-count budget."""
+
+
+class _BudgetDP(SegmentDP):
+    """Heterogeneous activation sizes under a unit (quantized byte) budget.
+
+    ``budget`` is the number of units free for snapshots inside the
+    segment — the input's own units are charged by the caller.
+    """
+
+    def __init__(self, fwd_cost: tuple[float, ...], size_units: tuple[int, ...]) -> None:
+        super().__init__(fwd_cost)
+        self.sizes = size_units  # length l+1, x_0..x_l
+
+    def free_units(self, budget: int) -> int:
+        return budget
+
+    def snapshot_units(self, m: int) -> int:
+        return self.sizes[m]
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous costs, slot-count budget
+# ---------------------------------------------------------------------------
 
 
 def _hetero_dp(spec: ChainSpec) -> _HeteroDP:
@@ -110,41 +243,6 @@ def opt_forwards_hetero(spec: ChainSpec, c: int) -> float:
     return _hetero_dp(spec).solve(0, spec.length, c)[0]
 
 
-def _emit_hetero(
-    dp: "_HeteroDP | _BudgetDP",
-    actions: list[Action],
-    i: int,
-    j: int,
-    budget: int,
-    base_slot: int,
-    pool: list[int],
-) -> None:
-    """Shared emission for both DPs; ``budget`` is c or byte-units."""
-    while True:
-        if j - i == 0:
-            return
-        if j - i == 1:
-            actions.append(restore(base_slot))
-            actions.append(adjoint(i + 1))
-            return
-        _, m = dp.solve(i, j, budget)
-        if m == 0 or not pool:
-            for b in range(j, i, -1):
-                actions.append(restore(base_slot))
-                if b - 1 > i:
-                    actions.append(advance(b - 1))
-                actions.append(adjoint(b))
-            return
-        actions.append(restore(base_slot))
-        actions.append(advance(m))
-        s = pool.pop()
-        actions.append(snapshot(s))
-        _emit_hetero(dp, actions, m, j, dp.child_budget(budget, m), s, pool)
-        actions.append(free(s))
-        pool.append(s)
-        j = m
-
-
 def hetero_schedule(spec: ChainSpec, c: int) -> Schedule:
     """Optimal executable schedule for heterogeneous step costs."""
     if c < 1:
@@ -153,7 +251,7 @@ def hetero_schedule(spec: ChainSpec, c: int) -> Schedule:
     actions: list[Action] = []
     pool = list(range(1, c))
     actions.append(snapshot(0))
-    _emit_hetero(dp, actions, 0, spec.length, c, 0, pool)
+    dp.emit(actions, 0, spec.length, c, 0, pool)
     return Schedule(strategy="hetero_dp", length=spec.length, slots=c, actions=tuple(actions))
 
 
@@ -175,58 +273,6 @@ def quantize_sizes(act_bytes: tuple[int, ...], levels: int = 64) -> tuple[tuple[
         return tuple(0 for _ in act_bytes), 1
     unit = max(1, math.ceil(biggest / levels))
     return tuple(math.ceil(b / unit) for b in act_bytes), unit
-
-
-class _BudgetDP:
-    """Segment DP with heterogeneous activation sizes and a unit budget."""
-
-    def __init__(self, fwd_cost: tuple[float, ...], size_units: tuple[int, ...]) -> None:
-        self.u = fwd_cost
-        self.sizes = size_units  # length l+1, x_0..x_l
-        self.l = len(fwd_cost)
-        self.prefix = [0.0]
-        for ucost in fwd_cost:
-            self.prefix.append(self.prefix[-1] + ucost)
-        self._memo: dict[tuple[int, int, int], tuple[float, int]] = {}
-
-    def adv(self, i: int, j: int) -> float:
-        return self.prefix[j] - self.prefix[i]
-
-    def quad(self, i: int, j: int) -> float:
-        total = 0.0
-        for b in range(j, i, -1):
-            total += self.adv(i, b - 1)
-        return total
-
-    def child_budget(self, budget: int, m: int) -> int:
-        return budget - self.sizes[m]
-
-    def solve(self, i: int, j: int, budget: int) -> tuple[float, int]:
-        """(min advance cost, best m; 0 = reverse without snapshots).
-
-        ``budget`` is the free units available for snapshots inside
-        ``[i, j)``; the segment input ``x_i`` is charged by the caller.
-        """
-        if j - i <= 1:
-            return 0.0, 0
-        key = (i, j, budget)
-        hit = self._memo.get(key)
-        if hit is not None:
-            return hit
-        best, best_m = self.quad(i, j), 0
-        for m in range(i + 1, j):
-            sz = self.sizes[m]
-            if sz > budget:
-                continue
-            val = (
-                self.adv(i, m)
-                + self.solve(m, j, budget - sz)[0]
-                + self.solve(i, m, budget)[0]
-            )
-            if val < best - 1e-12:
-                best, best_m = val, m
-        self._memo[key] = (best, best_m)
-        return best, best_m
 
 
 def opt_forwards_budget(
@@ -266,7 +312,7 @@ def budget_schedule(spec: ChainSpec, budget_bytes: int, levels: int = 64) -> Sch
     actions: list[Action] = []
     pool = list(range(1, spec.length + 1))
     actions.append(snapshot(0))
-    _emit_hetero(dp, actions, 0, spec.length, free_units, 0, pool)
+    dp.emit(actions, 0, spec.length, free_units, 0, pool)
     return Schedule(
         strategy="budget_dp",
         length=spec.length,

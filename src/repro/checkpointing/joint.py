@@ -1,0 +1,491 @@
+"""Joint rematerialization + paging: one DP over recompute *and* tier.
+
+The existing families answer "where does this activation live?" by
+fiat — ``revolve`` keeps everything in RAM and recomputes,
+``disk_revolve`` pages split points to disk at fixed unit prices.  POET
+(see PAPERS.md) frames the two as one optimization: per step, either
+recompute an activation when it is needed again, or page it to a storage
+tier, under a pluggable objective (wall time, energy).  This module is
+that planner for the segment-structured schedules our VM executes.
+
+Model
+-----
+
+A plan is a chain of *paged segments*: split positions
+``0 = p_0 < p_1 < ... < p_k < l`` with a tier choice ``t_i`` per split.
+The forward sweep writes ``x_{p_i}`` to tier ``t_i``; segments are then
+reversed right to left, each one a pure in-RAM reversal (the shared
+:class:`~repro.checkpointing.dynprog.SegmentDP` core / Revolve closed
+form) after one read of its base — except the rightmost, whose base is
+still in the cursor.  With ``F(b, t)`` the optimal cost of reversing the
+suffix ``[b, l)`` given ``x_b`` already written to tier ``t``:
+
+    F(b, t) = min( inner(b, l),
+                   min_{b<m<l, u} [ adv(b, m) + W_u(m) + F(m, u)
+                                      + R_t(b) + inner(b, m) ] )
+
+    joint = min( inner(0, l),  min_t [ W_t(0) + F(0, t) ] )
+
+``inner(i, j)`` is the optimal pure-RAM reversal of segment ``[i, j)``
+with the ``c``-slot budget; ``W``/``R`` are the objective's per-tier
+write/read prices; ``adv`` its advance price.  The option set strictly
+contains both pure Revolve (the first branch) and every disk-revolve
+plan (unit prices recover Aupy et al.'s ``DR`` recurrence exactly), so
+the joint optimum weakly dominates both *by construction* — and beats
+them strictly whenever real :class:`~repro.edge.storage.StorageProfile`
+prices diverge from the abstract unit costs the pure families assume.
+
+Objectives
+----------
+
+:class:`UnitCostObjective` prices I/O in forward units (the
+disk-revolve convention), :class:`TimeObjective` in seconds through a
+storage profile's read/write paths, :class:`EnergyObjective` in joules —
+compute energy per forward unit plus rail power held during storage
+transfers (the paper's duty-cycle framing: the node cannot sleep while a
+checkpoint is in flight).  Anything with ``step_cost`` / ``write_cost``
+/ ``read_cost`` / ``paged_tiers`` plugs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import PlanningError, ScheduleError
+from .actions import (
+    TIER_DISK,
+    TIER_RAM,
+    Action,
+    advance,
+    free,
+    restore,
+    snapshot,
+    tier_name,
+    tier_slot,
+)
+from .chainspec import ChainSpec
+from .dynprog import SlotSegmentDP
+from .revolve import _SplitFn, _emit_reverse, opt_forwards
+from .schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..edge.storage import StorageProfile
+
+__all__ = [
+    "JointObjective",
+    "UnitCostObjective",
+    "TimeObjective",
+    "EnergyObjective",
+    "JointPlan",
+    "joint_plan",
+    "joint_cost",
+    "joint_schedule",
+]
+
+_INF = float("inf")
+_TOL = 1e-12
+
+
+def _default_disk() -> "StorageProfile":
+    from ..edge.storage import SD_CARD
+
+    return SD_CARD
+
+
+# ---------------------------------------------------------------------------
+# Objectives
+# ---------------------------------------------------------------------------
+
+
+class JointObjective:
+    """Prices the joint DP's three primitives on one chain.
+
+    Subclasses set :attr:`label` and implement :meth:`step_cost`,
+    :meth:`write_cost` and :meth:`read_cost`; advance prices derive from
+    the per-step costs.  All built-in objectives price a step
+    proportionally to ``spec.fwd_cost`` (constant factor), so the
+    optimal *structure* found in objective units is also optimal in raw
+    forward units whenever the prices coincide up to scale.
+    """
+
+    label: str = "?"
+
+    def __init__(self, spec: ChainSpec) -> None:
+        self.spec = spec
+        prefix = [0.0]
+        for k in range(1, spec.length + 1):
+            prefix.append(prefix[-1] + self.step_cost(k))
+        self._prefix = tuple(prefix)
+
+    # -- required ---------------------------------------------------------
+    def step_cost(self, k: int) -> float:
+        """Objective cost of one execution of ``F_k`` (``k`` in 1..l)."""
+        raise NotImplementedError
+
+    def write_cost(self, tier: int, index: int) -> float:
+        """Cost of writing ``x_index`` to ``tier``."""
+        raise NotImplementedError
+
+    def read_cost(self, tier: int, index: int) -> float:
+        """Cost of reading ``x_index`` back from ``tier``."""
+        raise NotImplementedError
+
+    # -- shared -----------------------------------------------------------
+    @property
+    def paged_tiers(self) -> tuple[int, ...]:
+        """Tiers the planner may page to (RAM is always implicit)."""
+        return (TIER_DISK,)
+
+    def advance_cost(self, i: int, j: int) -> float:
+        """Objective cost of advancing the cursor from ``x_i`` to ``x_j``."""
+        return self._prefix[j] - self._prefix[i]
+
+    @property
+    def uniform_step(self) -> float | None:
+        """The common per-step cost, or ``None`` when steps differ."""
+        costs = {self.step_cost(k) for k in range(1, self.spec.length + 1)}
+        return next(iter(costs)) if len(costs) == 1 else None
+
+
+class UnitCostObjective(JointObjective):
+    """Abstract pricing in forward units — the disk-revolve convention.
+
+    A step costs its ``fwd_cost`` entry; any paged write/read costs a
+    flat ``write_cost`` / ``read_cost`` regardless of size.  With the
+    defaults this is exactly the pricing under which
+    :func:`~repro.checkpointing.multilevel.disk_revolve_cost` plans, so
+    the joint optimum provably equals it on homogeneous chains.
+    """
+
+    def __init__(
+        self,
+        spec: ChainSpec,
+        write_cost: float = 1.0,
+        read_cost: float = 1.0,
+    ) -> None:
+        if write_cost < 0 or read_cost < 0:
+            raise PlanningError("paging costs must be non-negative")
+        self._write = write_cost
+        self._read = read_cost
+        self.label = f"unit(w={write_cost:g},r={read_cost:g})"
+        super().__init__(spec)
+
+    def step_cost(self, k: int) -> float:
+        return self.spec.fwd_cost[k - 1]
+
+    def write_cost(self, tier: int, index: int) -> float:
+        return 0.0 if tier == TIER_RAM else self._write
+
+    def read_cost(self, tier: int, index: int) -> float:
+        return 0.0 if tier == TIER_RAM else self._read
+
+
+class TimeObjective(JointObjective):
+    """Wall-clock pricing: steps in seconds, I/O through a storage profile.
+
+    ``unit_seconds`` converts ``spec.fwd_cost`` units (e.g. FLOPs) to
+    seconds; paged transfers are priced by the profile's
+    ``write_seconds`` / ``read_seconds`` of the activation's true byte
+    size — the same accounting :class:`~repro.engine.tiered.TieredBackend`
+    charges when the schedule actually executes, so planned and measured
+    wall time agree exactly.
+    """
+
+    def __init__(
+        self,
+        spec: ChainSpec,
+        disk: "StorageProfile | None" = None,
+        unit_seconds: float = 1.0,
+    ) -> None:
+        if unit_seconds <= 0:
+            raise PlanningError("unit_seconds must be positive")
+        self.disk = disk if disk is not None else _default_disk()
+        self.unit_seconds = unit_seconds
+        self.label = f"time({self.disk.name})"
+        super().__init__(spec)
+
+    def step_cost(self, k: int) -> float:
+        return self.spec.fwd_cost[k - 1] * self.unit_seconds
+
+    def write_cost(self, tier: int, index: int) -> float:
+        if tier == TIER_RAM:
+            return 0.0
+        return self.disk.write_seconds(self.spec.act_bytes[index])
+
+    def read_cost(self, tier: int, index: int) -> float:
+        if tier == TIER_RAM:
+            return 0.0
+        return self.disk.read_seconds(self.spec.act_bytes[index])
+
+
+class EnergyObjective(JointObjective):
+    """Energy pricing: compute joules per step, rail power during I/O.
+
+    A forward unit costs ``compute_j_per_unit`` joules (default: the
+    :class:`~repro.edge.power.EnergyModel` per-FLOP coefficient, for
+    chains whose ``fwd_cost`` is in FLOPs).  A paged transfer holds the
+    node awake for the profile's transfer seconds at ``io_w`` watts —
+    the duty-cycle framing: storage I/O draws far less than a busy core,
+    but the rail cannot gate off while a checkpoint is in flight
+    (default: the energy model's idle draw).
+    """
+
+    def __init__(
+        self,
+        spec: ChainSpec,
+        disk: "StorageProfile | None" = None,
+        compute_j_per_unit: float | None = None,
+        io_w: float | None = None,
+    ) -> None:
+        from ..edge.power import EnergyModel
+
+        model = EnergyModel()
+        if compute_j_per_unit is None:
+            compute_j_per_unit = model.compute_j_per_flop
+        if io_w is None:
+            io_w = model.idle_w
+        if compute_j_per_unit < 0 or io_w < 0:
+            raise PlanningError("energy coefficients must be non-negative")
+        self.disk = disk if disk is not None else _default_disk()
+        self.compute_j_per_unit = compute_j_per_unit
+        self.io_w = io_w
+        self.label = f"energy({self.disk.name})"
+        super().__init__(spec)
+
+    def step_cost(self, k: int) -> float:
+        return self.spec.fwd_cost[k - 1] * self.compute_j_per_unit
+
+    def write_cost(self, tier: int, index: int) -> float:
+        if tier == TIER_RAM:
+            return 0.0
+        return self.io_w * self.disk.write_seconds(self.spec.act_bytes[index])
+
+    def read_cost(self, tier: int, index: int) -> float:
+        if tier == TIER_RAM:
+            return 0.0
+        return self.io_w * self.disk.read_seconds(self.spec.act_bytes[index])
+
+
+# ---------------------------------------------------------------------------
+# The planner
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JointPlan:
+    """Outcome of :func:`joint_plan`.
+
+    ``splits`` lists ``(position, tier)`` pairs in ascending position
+    order — including ``(0, t)`` for the chain input when the plan pages
+    at all; an empty tuple means pure in-RAM Revolve.  ``cost`` is in
+    the objective's units and is exactly what executing the emitted
+    schedule on a matching :class:`~repro.engine.tiered.TieredBackend`
+    measures (pure advances priced per step plus every paged transfer).
+    """
+
+    objective: str
+    length: int
+    slots: int
+    cost: float
+    splits: tuple[tuple[int, int], ...]
+
+    @property
+    def paged(self) -> bool:
+        return bool(self.splits)
+
+    @property
+    def tiers_used(self) -> tuple[int, ...]:
+        return tuple(sorted({t for _, t in self.splits}))
+
+
+class _InnerRevolve:
+    """Closed-form inner solver for uniform per-step objective cost."""
+
+    def __init__(self, c: int, unit: float) -> None:
+        self.c = c
+        self.unit = unit
+
+    def cost(self, i: int, j: int) -> float:
+        return opt_forwards(j - i, self.c) * self.unit if j > i else 0.0
+
+    def emit(self, actions: list[Action], i: int, j: int, split_for: _SplitFn) -> None:
+        seg_len = j - i
+        c_seg = min(self.c, max(1, seg_len - 1))
+        pool = list(range(1, c_seg))
+        _emit_reverse(actions, i, seg_len, 0, pool, split_for)
+
+
+class _InnerSegmentDP:
+    """Exact segment-DP inner solver for heterogeneous objective cost."""
+
+    def __init__(self, costs: tuple[float, ...], c: int) -> None:
+        self.dp = SlotSegmentDP(costs)
+        self.c = c
+
+    def cost(self, i: int, j: int) -> float:
+        return self.dp.solve(i, j, self.c)[0] if j > i else 0.0
+
+    def emit(self, actions: list[Action], i: int, j: int, split_for: None) -> None:
+        pool = list(range(1, self.c))
+        self.dp.emit(actions, i, j, self.c, 0, pool)
+
+
+def _make_inner(spec: ChainSpec, c: int, objective: JointObjective):
+    unit = objective.uniform_step
+    if unit is not None:
+        return _InnerRevolve(min(c, max(1, spec.length - 1)), unit)
+    costs = tuple(objective.step_cost(k) for k in range(1, spec.length + 1))
+    return _InnerSegmentDP(costs, c)
+
+
+def _solve(spec: ChainSpec, c: int, objective: JointObjective):
+    """Bottom-up outer DP; returns (cost, splits, inner solver)."""
+    l = spec.length
+    inner = _make_inner(spec, c, objective)
+    tiers = objective.paged_tiers
+    # table[(b, t)] = (cost of reversing [b, l) with x_b on tier t,
+    #                  first further split m or 0, its tier or -1)
+    table: dict[tuple[int, int], tuple[float, int, int]] = {}
+    suffix_inner = [inner.cost(b, l) for b in range(l + 1)]
+    for b in range(l - 1, -1, -1):
+        for t in tiers:
+            best, best_m, best_u = suffix_inner[b], 0, -1
+            read_b = objective.read_cost(t, b)
+            for m in range(b + 1, l):
+                base = (
+                    objective.advance_cost(b, m)
+                    + read_b
+                    + inner.cost(b, m)
+                )
+                for u in tiers:
+                    val = base + objective.write_cost(u, m) + table[(m, u)][0]
+                    if val < best - _TOL:
+                        best, best_m, best_u = val, m, u
+            table[(b, t)] = (best, best_m, best_u)
+
+    best, t0 = suffix_inner[0], -1
+    for t in tiers:
+        val = objective.write_cost(t, 0) + table[(0, t)][0]
+        if val < best - _TOL:
+            best, t0 = val, t
+
+    splits: list[tuple[int, int]] = []
+    if t0 >= 0:
+        b, t = 0, t0
+        while True:
+            splits.append((b, t))
+            _, m, u = table[(b, t)]
+            if m == 0:
+                break
+            b, t = m, u
+    return best, tuple(splits), inner
+
+
+def joint_plan(
+    spec: ChainSpec, c: int, objective: JointObjective | None = None
+) -> JointPlan:
+    """Optimal joint rematerialization+paging plan for ``spec``.
+
+    ``c`` is the RAM slot budget (Revolve's convention — it includes the
+    slot holding the active segment's base); paged tiers have unbounded
+    slots, priced per access by the objective.  Defaults to
+    :class:`UnitCostObjective` (disk-revolve's abstract pricing).
+    """
+    if c < 1:
+        raise ScheduleError("slot count must be >= 1")
+    if objective is None:
+        objective = UnitCostObjective(spec)
+    if objective.spec is not spec and objective.spec != spec:
+        raise PlanningError("objective was built for a different chain")
+    cost, splits, _ = _solve(spec, c, objective)
+    return JointPlan(
+        objective=objective.label,
+        length=spec.length,
+        slots=c,
+        cost=cost,
+        splits=splits,
+    )
+
+
+def joint_cost(
+    spec: ChainSpec, c: int, objective: JointObjective | None = None
+) -> float:
+    """Objective cost of the optimal joint plan (see :func:`joint_plan`)."""
+    return joint_plan(spec, c, objective).cost
+
+
+def joint_schedule(
+    spec: ChainSpec,
+    c: int,
+    objective: JointObjective | None = None,
+    family: str = "joint_time",
+) -> Schedule:
+    """Executable schedule achieving :func:`joint_cost`.
+
+    Paged checkpoints use the shared tier-aware slot alphabet
+    (:func:`~repro.checkpointing.actions.tier_slot` — split ``i`` on
+    tier ``t`` lives in slot ``t·stride + i``); RAM slots stay
+    ``0 .. c-1`` with slot 0 parking the active segment's base, exactly
+    the disk-revolve layout.  Executing it on a
+    :class:`~repro.engine.tiered.TieredBackend` whose profiles match the
+    objective reproduces the planned cost measurement-for-measurement.
+    """
+    if c < 1:
+        raise ScheduleError("slot count must be >= 1")
+    if objective is None:
+        objective = UnitCostObjective(spec)
+    l = spec.length
+    cost, splits, inner = _solve(spec, c, objective)
+    label = f"{family}(c={c})"
+
+    split_for = None
+    if isinstance(inner, _InnerRevolve):
+        if splits:
+            bounds = [p for p, _ in splits]
+            max_seg = max(
+                e - b for b, e in zip(bounds, bounds[1:] + [l])
+            )
+        else:
+            max_seg = l
+        split_for = _SplitFn(max_seg, inner.c)
+
+    actions: list[Action] = []
+    if not splits:
+        actions.append(snapshot(0))
+        inner.emit(actions, 0, l, split_for)
+        # The closed-form inner caps its pool at the useful slot count;
+        # the segment-DP inner draws on the full budget (hetero_schedule's
+        # convention), so the declared budget must match the emitter.
+        c_eff = min(c, max(1, l - 1)) if split_for is not None else c
+        return Schedule(strategy=label, length=l, slots=c_eff, actions=tuple(actions))
+
+    positions = [p for p, _ in splits]
+    seg_ends = positions[1:] + [l]
+    paged_slots = [tier_slot(t, i) for i, (_, t) in enumerate(splits)]
+
+    # Forward phase: page x_0 and every split point out.
+    actions.append(snapshot(paged_slots[0]))
+    for i in range(1, len(splits)):
+        actions.append(advance(positions[i]))
+        actions.append(snapshot(paged_slots[i]))
+
+    # Backward phase, rightmost segment first; every segment but the
+    # rightmost pays one paged read to bring its base back.  The base is
+    # then parked in RAM slot 0 (free — same tier as the cursor) so the
+    # in-RAM reversal can re-advance from it.
+    for i in range(len(splits) - 1, -1, -1):
+        base, end = positions[i], seg_ends[i]
+        if i < len(splits) - 1:
+            actions.append(restore(paged_slots[i]))
+        actions.append(snapshot(0))
+        inner.emit(actions, base, end, split_for)
+        actions.append(free(0))
+        actions.append(free(paged_slots[i]))
+
+    return Schedule(
+        strategy=label,
+        length=l,
+        slots=max(paged_slots) + 1,
+        actions=tuple(actions),
+    )

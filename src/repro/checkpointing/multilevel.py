@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from ..errors import ScheduleError
-from .actions import Action, advance, free, restore, snapshot
+from .actions import TIER_DISK, Action, advance, free, restore, snapshot, tier_slot
 from .chainspec import ChainSpec
 from .revolve import _SplitFn, _emit_reverse, opt_forwards, revolve_schedule
 from .schedule import Schedule
@@ -45,8 +45,11 @@ __all__ = [
     "simulate_tiered",
 ]
 
-#: Slot ids >= this refer to the disk tier.
-DISK_SLOT_BASE = 1_000_000
+#: Slot ids >= this refer to the disk tier — the first slot of
+#: :data:`~repro.checkpointing.actions.TIER_DISK` in the shared
+#: tier-aware slot alphabet (kept as a module attribute for callers that
+#: predate the alphabet).
+DISK_SLOT_BASE = tier_slot(TIER_DISK, 0)
 
 
 @lru_cache(maxsize=None)

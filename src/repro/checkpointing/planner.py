@@ -26,16 +26,22 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import MemoryBudgetError, PlanningError
+from .chainspec import ChainSpec
 from .revolve import extra_forwards, min_slots_for_extra
 from .strategies import available_strategies, get_strategy, rho_from_extra
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..edge.storage import StorageProfile
 
 __all__ = [
     "PlanPoint",
     "TrainingPlan",
+    "FrontierPoint",
     "rho_for_slots",
     "slots_for_rho",
     "slots_for_rhos",
@@ -45,6 +51,7 @@ __all__ = [
     "rho_for_budget",
     "plan_training",
     "compare_strategies",
+    "joint_frontier",
 ]
 
 
@@ -289,3 +296,91 @@ def compare_strategies(
             else math.inf
         )
     return out
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One strategy's *measured* position on the joint memory/time/energy
+    frontier — produced by executing its schedule on a tiered backend,
+    not by trusting the planner's own cost model."""
+
+    strategy: str
+    slots: int
+    extra_forwards: int
+    peak_memory_bytes: int
+    peak_disk_bytes: int
+    disk_writes: int
+    disk_reads: int
+    transfer_seconds: float
+    wall_seconds: float
+    energy_joules: float
+
+
+def joint_frontier(
+    spec: ChainSpec,
+    c: int,
+    disk: "StorageProfile | None" = None,
+    *,
+    unit_seconds: float = 1.0,
+    compute_j_per_unit: float | None = None,
+    io_w: float | None = None,
+) -> list[FrontierPoint]:
+    """Execute pure revolve, pure disk-revolve and the two joint plans on
+    one tiered device and measure them on a common (wall, energy) scale.
+
+    All four schedules get the same RAM slot budget ``c`` and the same
+    storage profile (default SD card).  Wall seconds are compute cost ×
+    ``unit_seconds`` plus measured transfer seconds; energy is compute
+    cost × ``compute_j_per_unit`` plus ``io_w`` × transfer seconds
+    (defaults from :class:`~repro.edge.power.EnergyModel`, the idle-rail
+    duty-cycle framing).  Because the joint DP's option set contains both
+    pure families' plans as special cases, ``joint_time`` weakly
+    dominates both on wall seconds and ``joint_energy`` on joules — this
+    function is how that claim is *checked* rather than assumed.
+    """
+    if c < 1:
+        raise PlanningError("slot budget must be >= 1")
+    from ..engine.tiered import TieredBackend
+    from ..engine.vm import execute
+    from .joint import EnergyObjective, TimeObjective, joint_schedule
+    from .multilevel import disk_revolve_schedule
+    from .revolve import revolve_schedule
+
+    if disk is None:
+        from ..edge.storage import SD_CARD
+
+        disk = SD_CARD
+    tobj = TimeObjective(spec, disk=disk, unit_seconds=unit_seconds)
+    eobj = EnergyObjective(
+        spec, disk=disk, compute_j_per_unit=compute_j_per_unit, io_w=io_w
+    )
+    l = spec.length
+    c_eff = min(c, max(1, l - 1))
+    schedules = (
+        ("revolve", revolve_schedule(l, c_eff)),
+        ("disk_revolve", disk_revolve_schedule(l, c_eff)),
+        ("joint_time", joint_schedule(spec, c, tobj)),
+        ("joint_energy", joint_schedule(spec, c, eobj, family="joint_energy")),
+    )
+    points: list[FrontierPoint] = []
+    for name, sched in schedules:
+        stats = execute(sched, TieredBackend(spec, disk=disk))
+        compute = stats.forward_cost + stats.replay_cost + stats.backward_cost
+        mem = stats.tier("memory")
+        dsk = stats.tier("disk")
+        points.append(
+            FrontierPoint(
+                strategy=name,
+                slots=c,
+                extra_forwards=stats.forward_steps - (l - 1),
+                peak_memory_bytes=mem.peak_bytes,
+                peak_disk_bytes=dsk.peak_bytes,
+                disk_writes=dsk.writes,
+                disk_reads=dsk.reads,
+                transfer_seconds=stats.transfer_seconds,
+                wall_seconds=compute * unit_seconds + stats.transfer_seconds,
+                energy_joules=compute * eobj.compute_j_per_unit
+                + eobj.io_w * stats.transfer_seconds,
+            )
+        )
+    return points

@@ -54,6 +54,7 @@ from ..errors import PlanningError
 from ..obs import get_metrics, get_tracer
 from .chainspec import ChainSpec
 from .dynprog import budget_schedule, hetero_schedule
+from .joint import UnitCostObjective, joint_schedule
 from .multilevel import disk_revolve_schedule
 from .revolve import extra_forwards as revolve_extra_forwards
 from .revolve import revolve_schedule, store_all_schedule
@@ -633,6 +634,37 @@ class DiskRevolveStrategy(CheckpointStrategy):
         return disk_revolve_schedule(l, c, self.write_cost, self.read_cost)
 
 
+class JointStrategy(CheckpointStrategy):
+    """Joint rematerialization+paging DP over the tiered action alphabet.
+
+    Per split point the planner chooses recompute-vs-page-to-tier under
+    an abstract per-operation paging price in forward units (the
+    registry operates on homogeneous unit chains, so profile-priced
+    objectives live behind the spec-level API —
+    :func:`~repro.checkpointing.joint.joint_schedule` with a
+    :class:`~repro.checkpointing.joint.TimeObjective` /
+    :class:`~repro.checkpointing.joint.EnergyObjective`).  ``joint_time``
+    prices a paged op at one forward unit — ``disk_revolve``'s
+    convention, which it provably weakly dominates; ``joint_energy`` at
+    a quarter unit (storage I/O holds only the ~2 W rail while a busy
+    core draws ~4x that, so equal-duration transfers cost a quarter of
+    the energy — the duty-cycle framing of
+    :class:`~repro.edge.power.EnergyModel`), so it pages more eagerly.
+    Like ``disk_revolve``, ``rho`` prices recompute only; paging I/O is
+    costed by the objective.
+    """
+
+    def __init__(self, name: str, write_cost: float = 1.0, read_cost: float = 1.0) -> None:
+        self.name = name
+        self.write_cost = write_cost
+        self.read_cost = read_cost
+
+    def build_schedule(self, l: int, c: int) -> Schedule:
+        spec = ChainSpec.homogeneous(l)
+        objective = UnitCostObjective(spec, self.write_cost, self.read_cost)
+        return joint_schedule(spec, c, objective, family=self.name)
+
+
 # Registration order is the presentation order everywhere (ablation
 # columns, CLI listing) and keeps compare_strategies' seed key order:
 # revolve, uniform, sqrt, store_all first.
@@ -643,3 +675,5 @@ register(StoreAllStrategy())
 register(HeteroStrategy(), aliases=("hetero_dp",))
 register(BudgetStrategy(), aliases=("budget_dp",))
 register(DiskRevolveStrategy())
+register(JointStrategy("joint_time"), aliases=("joint",))
+register(JointStrategy("joint_energy", write_cost=0.25, read_cost=0.25))

@@ -629,7 +629,8 @@ def _exec(args: argparse.Namespace) -> str:
         for t in run.tiers:
             priced = "" if t.name == "memory" else f" [{args.storage}]"
             lines.append(
-                f"    {t.name:<6} tier: {t.writes} writes / {t.reads} reads, "
+                f"    {t.name:<6} tier: {t.writes} writes / {t.reads} reads "
+                f"({t.bytes_written:,} B out / {t.bytes_read:,} B in), "
                 f"{t.transfer_seconds:.3f} s, peak {t.peak_slots} slots "
                 f"({t.peak_bytes:,} B){priced}"
             )

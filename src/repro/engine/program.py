@@ -40,7 +40,7 @@ from functools import cached_property
 
 import numpy as np
 
-from ..checkpointing.actions import Action, ActionKind
+from ..checkpointing.actions import Action, ActionKind, tier_of_slot
 from ..checkpointing.schedule import Schedule
 from ..errors import ExecutionError, ScheduleError
 from .stats import RunStats
@@ -148,6 +148,43 @@ class CompiledProgram:
     @cached_property
     def aux_list(self) -> tuple[int, ...]:
         return tuple(self.aux.tolist())
+
+    # -- tier-aware aggregates (derived from the shared slot alphabet) ---
+    @cached_property
+    def tier_usage(self) -> tuple[tuple[int, int, int, int], ...]:
+        """Per-tier ``(tier, snapshots, restores, peak_slots)`` rows.
+
+        Derived from the opcode/arg arrays alone via
+        :func:`~repro.checkpointing.actions.tier_of_slot`, so the rows
+        survive payload round-trips by construction.  Tiers appear in
+        ascending order; a program that never touches a slot has no rows.
+        """
+        snaps: dict[int, int] = {}
+        reads: dict[int, int] = {}
+        held: dict[int, int] = {}
+        peaks: dict[int, int] = {}
+        for op, arg in zip(self.ops_list, self.args_list):
+            if op == OP_ADVANCE or op == OP_ADJOINT:
+                continue
+            t = tier_of_slot(arg)
+            if op == OP_SNAPSHOT:
+                snaps[t] = snaps.get(t, 0) + 1
+                held[t] = held.get(t, 0) + 1
+                if held[t] > peaks.get(t, 0):
+                    peaks[t] = held[t]
+            elif op == OP_RESTORE:
+                reads[t] = reads.get(t, 0) + 1
+            else:  # OP_FREE
+                held[t] = held.get(t, 0) - 1
+        tiers = sorted(set(snaps) | set(reads))
+        return tuple(
+            (t, snaps.get(t, 0), reads.get(t, 0), peaks.get(t, 0)) for t in tiers
+        )
+
+    @property
+    def paged(self) -> bool:
+        """Whether any action touches a slot outside the RAM tier."""
+        return any(t != 0 for t, _, _, _ in self.tier_usage)
 
     # -- content addressing and persistence -----------------------------
     @cached_property

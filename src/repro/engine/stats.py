@@ -58,11 +58,19 @@ class TierStats:
     read_seconds: float
     peak_slots: int
     peak_bytes: int
+    #: activation bytes moved into / out of this tier's slots
+    bytes_written: int = 0
+    bytes_read: int = 0
 
     @property
     def transfer_seconds(self) -> float:
         """Total time spent moving checkpoints through this tier."""
         return self.write_seconds + self.read_seconds
+
+    @property
+    def bytes_moved(self) -> int:
+        """Total traffic through this tier (writes + reads)."""
+        return self.bytes_written + self.bytes_read
 
 
 @dataclass(frozen=True)

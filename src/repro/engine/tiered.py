@@ -1,9 +1,10 @@
 """Two-tier (memory + disk) backend with per-tier transfer costs.
 
 Extends :class:`~repro.engine.sim.SimBackend` with a storage ledger per
-tier: slot ids at or above ``disk_slot_base`` (the
-:data:`~repro.checkpointing.multilevel.DISK_SLOT_BASE` convention) live
-on the disk tier, the rest in RAM.  Each tier may carry a
+tier: slot ids are routed by the shared tier-aware action alphabet
+(:func:`~repro.checkpointing.actions.tier_of_slot` — ids at or above
+``disk_slot_base``, i.e. outside tier 0's band, live on the disk tier,
+the rest in RAM).  Each tier may carry a
 :class:`~repro.edge.storage.StorageProfile` pricing its read/write path
 in seconds; a tier without a profile moves checkpoints for free (the
 pure-counting mode :func:`~repro.checkpointing.simulate_tiered` uses).
@@ -16,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..checkpointing.actions import TIER_RAM, tier_of_slot
 from ..checkpointing.chainspec import ChainSpec
 from ..checkpointing.multilevel import DISK_SLOT_BASE
 from .sim import SimBackend
@@ -25,6 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..edge.storage import StorageProfile
 
 __all__ = ["TieredBackend"]
+
+_DEFAULT_BASE = DISK_SLOT_BASE
 
 
 class _TierLedger:
@@ -38,6 +42,8 @@ class _TierLedger:
         self.reads = 0
         self.write_seconds = 0.0
         self.read_seconds = 0.0
+        self.bytes_written = 0
+        self.bytes_read = 0
         self.peak_slots = 0
         self.peak_bytes = 0
 
@@ -57,6 +63,8 @@ class _TierLedger:
             read_seconds=self.read_seconds,
             peak_slots=self.peak_slots,
             peak_bytes=self.peak_bytes,
+            bytes_written=self.bytes_written,
+            bytes_read=self.bytes_read,
         )
 
 
@@ -84,6 +92,10 @@ class TieredBackend(SimBackend):
         self._disk = _TierLedger("disk", self._disk_profile)
 
     def _tier(self, slot: int) -> _TierLedger:
+        # The shared alphabet routes by slot-id band; a custom
+        # ``disk_slot_base`` lowers (or raises) where the disk band starts.
+        if self._base == _DEFAULT_BASE:
+            return self._mem if tier_of_slot(slot) == TIER_RAM else self._disk
         return self._disk if slot >= self._base else self._mem
 
     def snapshot(self, slot: int, index: int) -> float:
@@ -91,6 +103,7 @@ class TieredBackend(SimBackend):
         tier = self._tier(slot)
         tier.slots[slot] = index
         tier.writes += 1
+        tier.bytes_written += self.spec.act_bytes[index]
         cost = 0.0
         if tier.profile is not None:
             cost = tier.profile.write_seconds(self.spec.act_bytes[index])
@@ -102,6 +115,7 @@ class TieredBackend(SimBackend):
         super().restore(slot, index)
         tier = self._tier(slot)
         tier.reads += 1
+        tier.bytes_read += self.spec.act_bytes[index]
         cost = 0.0
         if tier.profile is not None:
             cost = tier.profile.read_seconds(self.spec.act_bytes[index])

@@ -17,10 +17,12 @@ from .tables import (
 )
 from .section5 import Section5Row, section5_sweep, section5_table
 from .figure1 import (
+    JOINT_STORAGE,
     PANELS,
     Figure1Series,
     default_rhos,
     figure1_ascii,
+    figure1_joint_panel,
     figure1_panel,
 )
 from .ablation import (
@@ -63,6 +65,8 @@ __all__ = [
     "default_rhos",
     "figure1_panel",
     "figure1_ascii",
+    "figure1_joint_panel",
+    "JOINT_STORAGE",
     "strategy_ablation",
     "strategy_ablation_table",
     "BatchPoint",

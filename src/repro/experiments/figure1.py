@@ -14,17 +14,28 @@ graphs, homogenized) and ``"paper"`` (Table-I-fitted coefficients — at
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
-from ..checkpointing import memory_for_slots, slots_for_rhos
+from ..checkpointing import ChainSpec, joint_frontier, memory_for_slots, slots_for_rhos
+from ..edge.device import ODROID_XU4
+from ..edge.storage import EMMC, SD_CARD
+from ..graph import homogenize
 from ..lab import Param, UnitDef, experiment
 from ..memory import calibrated_models
 from ..units import GB, MB
-from ..zoo import RESNET_DEPTHS
+from ..zoo import RESNET_DEPTHS, build_resnet
 from .report import ascii_plot, render_json
 from .tables import memory_models
 
-__all__ = ["PANELS", "Figure1Series", "figure1_panel", "figure1_ascii", "default_rhos"]
+__all__ = [
+    "PANELS",
+    "Figure1Series",
+    "figure1_panel",
+    "figure1_ascii",
+    "default_rhos",
+    "JOINT_STORAGE",
+    "figure1_joint_panel",
+]
 
 #: The paper's four panels: (label, batch size, image size).
 PANELS: dict[str, tuple[int, int]] = {
@@ -194,5 +205,158 @@ def _figure1_spec(params, inputs):
             {"model": s.name, "rho": r, "memory_mb": b / MB}
             for s in series
             for r, b in s.points
+        ],
+    }
+
+
+# -- joint rematerialization+paging frontier -------------------------------
+
+#: Storage profiles the joint frontier is measured against, by CLI name.
+JOINT_STORAGE = {"sd-card": SD_CARD, "emmc": EMMC}
+
+
+def _joint_spec(depth: int, batch: int, image: int) -> ChainSpec:
+    """Homogenized ResNet chain with batch-scaled sizes and real flops."""
+    base = ChainSpec.from_linear_chain(homogenize(build_resnet(depth, image_size=image), depth))
+    return ChainSpec(
+        name=f"{base.name}xb{batch}",
+        act_bytes=tuple(b * batch for b in base.act_bytes),
+        fwd_cost=tuple(f * batch for f in base.fwd_cost),
+        bwd_cost=tuple(f * batch for f in base.bwd_cost),
+    )
+
+
+def figure1_joint_panel(
+    panel: str,
+    storage: str = "sd-card",
+    slots: int = 3,
+    depths: tuple[int, ...] = RESNET_DEPTHS,
+) -> list[dict]:
+    """Measured joint frontier for one Figure-1 panel on one storage tier.
+
+    For each LinearResNet depth the four strategies (pure revolve, pure
+    disk-revolve, ``joint_time``, ``joint_energy``) are *executed* on a
+    :class:`~repro.engine.tiered.TieredBackend` priced by the chosen
+    storage profile, with compute timed at the ODROID-XU4 rate.  Each
+    returned row carries the per-strategy measurements plus the joint
+    planner's margins over the best pure family — the dominance numbers
+    the paper-level claim rests on.
+    """
+    if panel not in PANELS:
+        raise KeyError(f"panel must be one of {sorted(PANELS)}, got {panel!r}")
+    if storage not in JOINT_STORAGE:
+        raise KeyError(f"storage must be one of {sorted(JOINT_STORAGE)}, got {storage!r}")
+    batch, image = PANELS[panel]
+    profile = JOINT_STORAGE[storage]
+    unit_seconds = 1.0 / ODROID_XU4.flops_per_s
+    rows = []
+    for depth in depths:
+        spec = _joint_spec(depth, batch, image)
+        points = {
+            p.strategy: p
+            for p in joint_frontier(spec, slots, profile, unit_seconds=unit_seconds)
+        }
+        pure_wall = min(points["revolve"].wall_seconds, points["disk_revolve"].wall_seconds)
+        pure_energy = min(
+            points["revolve"].energy_joules, points["disk_revolve"].energy_joules
+        )
+        rows.append(
+            {
+                "depth": depth,
+                "batch_size": batch,
+                "image_size": image,
+                "storage": storage,
+                "slots": slots,
+                "strategies": {name: asdict(p) for name, p in points.items()},
+                "wall_margin_s": pure_wall - points["joint_time"].wall_seconds,
+                "energy_margin_j": pure_energy - points["joint_energy"].energy_joules,
+            }
+        )
+    return rows
+
+
+def _figure1_joint_ascii(doc: dict) -> str:
+    head = (
+        f"Figure 1{doc['panel']} joint frontier: batch {PANELS[doc['panel']][0]}, "
+        f"image {PANELS[doc['panel']][1]}, {doc['storage']}, c={doc['slots']}"
+    )
+    lines = [head, "=" * len(head)]
+    lines.append(
+        f"{'model':>16} {'strategy':>13} {'extra':>6} {'disk W/R':>9} "
+        f"{'xfer s':>8} {'wall s':>9} {'energy J':>9}"
+    )
+    for row in doc["rows"]:
+        for name in ("revolve", "disk_revolve", "joint_time", "joint_energy"):
+            p = row["strategies"][name]
+            lines.append(
+                f"{'LinearResNet' + str(row['depth']):>16} {name:>13} "
+                f"{p['extra_forwards']:>6} {p['disk_writes']:>4}/{p['disk_reads']:<4} "
+                f"{p['transfer_seconds']:>8.2f} {p['wall_seconds']:>9.2f} "
+                f"{p['energy_joules']:>9.2f}"
+            )
+        lines.append(
+            f"{'':>16} {'margin':>13} wall {row['wall_margin_s']:+.2f} s, "
+            f"energy {row['energy_margin_j']:+.2f} J vs best pure family"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _figure1_joint_csv(doc: dict) -> str:
+    lines = [
+        "depth,strategy,slots,extra_forwards,disk_writes,disk_reads,"
+        "transfer_s,wall_s,energy_j"
+    ]
+    for row in doc["rows"]:
+        for name, p in row["strategies"].items():
+            lines.append(
+                f"{row['depth']},{name},{p['slots']},{p['extra_forwards']},"
+                f"{p['disk_writes']},{p['disk_reads']},{p['transfer_seconds']:.4f},"
+                f"{p['wall_seconds']:.4f},{p['energy_joules']:.4f}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+@experiment(
+    "figure1_joint",
+    "Joint remat+paging frontier vs pure revolve / disk-revolve",
+    params=(
+        Param("panel", str, default="b", choices=tuple(sorted(PANELS))),
+        Param("storage", str, default="sd-card", choices=tuple(sorted(JOINT_STORAGE))),
+        Param("slots", int, default=3),
+    ),
+    renderers={
+        "ascii": _figure1_joint_ascii,
+        "csv": _figure1_joint_csv,
+        "json": render_json,
+    },
+    default_units=tuple(
+        UnitDef(
+            {"panel": p, "storage": s, "slots": 3},
+            (
+                (f"figure1_joint_{p}_{s.replace('-', '')}.txt", "ascii"),
+                (f"figure1_joint_{p}_{s.replace('-', '')}.csv", "csv"),
+            ),
+        )
+        for p in sorted(PANELS)
+        for s in ("sd-card", "emmc")
+    ),
+)
+def _figure1_joint_spec(params, inputs):
+    rows = figure1_joint_panel(params["panel"], params["storage"], params["slots"])
+    return {
+        "panel": params["panel"],
+        "storage": params["storage"],
+        "slots": params["slots"],
+        "rows": rows,
+        "records": [
+            {
+                "model": f"LinearResNet{row['depth']}",
+                "strategy": name,
+                "wall_s": p["wall_seconds"],
+                "energy_j": p["energy_joules"],
+                "extra_forwards": p["extra_forwards"],
+            }
+            for row in rows
+            for name, p in row["strategies"].items()
         ],
     }

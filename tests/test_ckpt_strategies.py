@@ -25,11 +25,21 @@ from repro.checkpointing import (
 )
 from repro.errors import PlanningError
 
-FAMILIES = ("revolve", "uniform", "sqrt", "store_all", "hetero", "budget", "disk_revolve")
+FAMILIES = (
+    "revolve",
+    "uniform",
+    "sqrt",
+    "store_all",
+    "hetero",
+    "budget",
+    "disk_revolve",
+    "joint_time",
+    "joint_energy",
+)
 
 
 class TestRegistry:
-    def test_all_seven_families_registered(self):
+    def test_all_nine_families_registered(self):
         assert set(available_strategies()) == set(FAMILIES)
 
     def test_presentation_order_keeps_seed_quartet_first(self):
@@ -42,6 +52,7 @@ class TestRegistry:
     def test_legacy_aliases(self):
         assert get_strategy("hetero_dp").name == "hetero"
         assert get_strategy("budget_dp").name == "budget"
+        assert get_strategy("joint").name == "joint_time"
 
     def test_unknown_name_lists_available(self):
         with pytest.raises(PlanningError, match="revolve"):
@@ -77,7 +88,7 @@ class TestSimulatorParity:
     @pytest.mark.parametrize("l", (1, 2, 3, 5, 8, 13, 21))
     @pytest.mark.parametrize("c", (1, 2, 3, 5, 8))
     def test_dp_and_tiered_families(self, l, c):
-        for name in ("hetero", "budget", "disk_revolve"):
+        for name in ("hetero", "budget", "disk_revolve", "joint_time", "joint_energy"):
             self.assert_parity(name, l, c)
 
     def test_hetero_budget_match_revolve_closed_form(self):

@@ -22,7 +22,7 @@ class TestListShow:
         out = run(capsys, "list")
         for name in lab.available_experiments():
             assert name in out
-        assert "10 registered" in out
+        assert "11 registered" in out
 
     def test_show_figure1(self, capsys):
         out = run(capsys, "show", "figure1")
@@ -81,13 +81,13 @@ class TestAll:
         assert sum(1 for ln in cold.splitlines() if ln.startswith("wrote ")) >= 20
         assert sum(1 for ln in warm.splitlines() if ln.startswith("cached ")) >= 20
         assert not any(ln.startswith("wrote ") for ln in warm.splitlines())
-        assert "manifests: 15 valid" in warm
+        assert "manifests: 23 valid" in warm
 
     def test_force_recomputes(self, capsys, tmp_path):
         run(capsys, "all", "--outdir", str(tmp_path), "--jobs", "1")
         forced = run(capsys, "all", "--outdir", str(tmp_path), "--jobs", "1",
                      "--force")
-        assert "0 hits / 17 misses" in forced.splitlines()[-1]
+        assert "0 hits / 25 misses" in forced.splitlines()[-1]
 
     def test_jobs_flag_reported(self, capsys, tmp_path):
         out = run(capsys, "all", "--outdir", str(tmp_path), "--jobs", "2")

@@ -149,5 +149,5 @@ class TestRegistry:
 
     def test_default_units_all_specs(self):
         units = lab.default_units()
-        assert len(units) == 15
+        assert len(units) == 23
         assert sum(len(u.outputs) for u in units) >= 20

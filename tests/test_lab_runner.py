@@ -49,7 +49,7 @@ class TestExpand:
              lab.expand_units(lab.default_units())]
         b = [(u.spec, lab.canonical_params(u.params)) for u in
              lab.expand_units(lab.default_units())]
-        assert a == b and len(a) == 17
+        assert a == b and len(a) == 25
 
     def test_cycle_guard(self):
         lab.register(_cheap("t_cyc_a"))
