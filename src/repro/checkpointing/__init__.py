@@ -18,6 +18,7 @@ The package exposes:
 """
 
 from .actions import (
+    COMPRESS_SLOT_BASE,
     TIER_DISK,
     TIER_RAM,
     TIER_SLOT_STRIDE,
@@ -25,10 +26,13 @@ from .actions import (
     ActionKind,
     adjoint,
     advance,
+    compressed_slot,
     free,
+    is_compressed_slot,
     local_slot,
     restore,
     snapshot,
+    storage_slot,
     tier_name,
     tier_of_slot,
     tier_slot,
@@ -97,6 +101,7 @@ from .strategies import (
     ProgramCacheInfo,
     available_strategies,
     clear_schedule_cache,
+    compressed_variant,
     get_strategy,
     program_cache_info,
     program_key_digest,
@@ -108,10 +113,12 @@ from .strategies import (
     uniform_rho,
 )
 from .planner import (
+    CompressedFrontierPoint,
     FrontierPoint,
     PlanPoint,
     TrainingPlan,
     compare_strategies,
+    compressed_frontier,
     joint_frontier,
     max_slots_in_budget,
     memory_curve,
@@ -138,6 +145,10 @@ __all__ = [
     "tier_slot",
     "local_slot",
     "tier_name",
+    "COMPRESS_SLOT_BASE",
+    "is_compressed_slot",
+    "compressed_slot",
+    "storage_slot",
     "ChainSpec",
     "Schedule",
     "FORMAT_VERSION",
@@ -193,6 +204,7 @@ __all__ = [
     "register",
     "get_strategy",
     "available_strategies",
+    "compressed_variant",
     "resolve_strategy_name",
     "rho_from_extra",
     "uniform_rho",
@@ -211,7 +223,9 @@ __all__ = [
     "PlanPoint",
     "TrainingPlan",
     "FrontierPoint",
+    "CompressedFrontierPoint",
     "joint_frontier",
+    "compressed_frontier",
     "rho_for_slots",
     "slots_for_rho",
     "slots_for_rhos",

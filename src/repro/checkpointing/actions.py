@@ -37,6 +37,22 @@ schedule VM (:mod:`repro.engine.vm`), the tiered backend
 :func:`tier_slot` / :func:`local_slot` convert between the flat id and
 the (tier, local) pair; the encoding stays well inside int32 so compiled
 programs round-trip paged schedules exactly.
+
+Compression
+-----------
+
+Orthogonally to the tier bands, a slot id at or above
+:data:`COMPRESS_SLOT_BASE` marks the checkpoint as *stored compressed*:
+``compressed_slot(s) == COMPRESS_SLOT_BASE + s`` flags any storage slot
+``s`` (RAM or disk band alike), :func:`storage_slot` strips the flag and
+:func:`is_compressed_slot` tests it.  The tier helpers strip the flag
+first, so a compressed disk slot still routes to the disk ledger — *how*
+an activation is stored (raw vs through a
+:class:`~repro.edge.storage.CompressionModel`) is part of the plan, not
+a backend implementation detail.  ``COMPRESS_SLOT_BASE + tier_slot(1,
+local)`` tops out near ``1.01e8``, still comfortably inside int32, so
+compressed schedules compile, cache and decompile exactly like plain
+ones with no ``PROGRAM_VERSION`` bump.
 """
 
 from __future__ import annotations
@@ -62,10 +78,18 @@ __all__ = [
     "tier_slot",
     "local_slot",
     "tier_name",
+    "COMPRESS_SLOT_BASE",
+    "is_compressed_slot",
+    "compressed_slot",
+    "storage_slot",
 ]
 
 #: Width of each tier's slot-id band; tier ``t`` owns ``[t·stride, (t+1)·stride)``.
 TIER_SLOT_STRIDE = 1_000_000
+
+#: Slot ids at or above this are stored compressed; subtracting the base
+#: yields the underlying tier-banded storage slot.
+COMPRESS_SLOT_BASE = 100_000_000
 
 #: Tier index of ordinary in-memory checkpoint slots.
 TIER_RAM = 0
@@ -77,11 +101,32 @@ TIER_DISK = 1
 TIER_NAMES: tuple[str, ...] = ("memory", "disk")
 
 
-def tier_of_slot(slot: int) -> int:
-    """Tier index encoded in a flat slot id."""
+def is_compressed_slot(slot: int) -> bool:
+    """Whether a flat slot id carries the compressed-storage flag."""
     if slot < 0:
         raise ScheduleError(f"slot id must be >= 0, got {slot}")
-    return slot // TIER_SLOT_STRIDE
+    return slot >= COMPRESS_SLOT_BASE
+
+
+def compressed_slot(slot: int) -> int:
+    """Flag a tier-banded storage slot id as stored compressed."""
+    if not 0 <= slot < COMPRESS_SLOT_BASE:
+        raise ScheduleError(
+            f"storage slot must be in [0, {COMPRESS_SLOT_BASE}), got {slot}"
+        )
+    return COMPRESS_SLOT_BASE + slot
+
+
+def storage_slot(slot: int) -> int:
+    """The underlying tier-banded slot id, compression flag stripped."""
+    if slot < 0:
+        raise ScheduleError(f"slot id must be >= 0, got {slot}")
+    return slot - COMPRESS_SLOT_BASE if slot >= COMPRESS_SLOT_BASE else slot
+
+
+def tier_of_slot(slot: int) -> int:
+    """Tier index encoded in a flat slot id (compression flag ignored)."""
+    return storage_slot(slot) // TIER_SLOT_STRIDE
 
 
 def tier_slot(tier: int, local: int) -> int:
@@ -96,10 +141,8 @@ def tier_slot(tier: int, local: int) -> int:
 
 
 def local_slot(slot: int) -> int:
-    """Position of a flat slot id within its tier's band."""
-    if slot < 0:
-        raise ScheduleError(f"slot id must be >= 0, got {slot}")
-    return slot % TIER_SLOT_STRIDE
+    """Position of a flat slot id within its tier's band (flag ignored)."""
+    return storage_slot(slot) % TIER_SLOT_STRIDE
 
 
 def tier_name(tier: int) -> str:

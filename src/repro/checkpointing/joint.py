@@ -45,6 +45,23 @@ compute energy per forward unit plus rail power held during storage
 transfers (the paper's duty-cycle framing: the node cannot sleep while a
 checkpoint is in flight).  Anything with ``step_cost`` / ``write_cost``
 / ``read_cost`` / ``paged_tiers`` plugs in.
+
+Compression — the third action
+------------------------------
+
+Giving an objective a :class:`~repro.edge.storage.CompressionModel`
+doubles its split alphabet: every paged tier gains a *compressed*
+variant (BitTrain/POET's framing — per split the planner now chooses
+recompute vs page vs page-compressed).  A compressed write moves
+``codec.compressed_bytes(size)`` through the storage profile and pays
+the codec's encode seconds; a compressed read mirrors it.  Plain tiers
+are tried first, so under the identity codec (ratio 1, zero cost) every
+tie breaks to the uncompressed variant and the plan collapses exactly
+to the codec-less one.  :func:`joint_schedule` emits compressed splits
+through the compressed slot band
+(:func:`~repro.checkpointing.actions.compressed_slot`), so a
+:class:`~repro.engine.compressed.CompressedBackend` with the same
+profile and codec reproduces the planned cost exactly.
 """
 
 from __future__ import annotations
@@ -58,6 +75,7 @@ from .actions import (
     TIER_RAM,
     Action,
     advance,
+    compressed_slot,
     free,
     restore,
     snapshot,
@@ -70,7 +88,7 @@ from .revolve import _SplitFn, _emit_reverse, opt_forwards
 from .schedule import Schedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..edge.storage import StorageProfile
+    from ..edge.storage import CompressionModel, StorageProfile
 
 __all__ = [
     "JointObjective",
@@ -85,6 +103,26 @@ __all__ = [
 
 _INF = float("inf")
 _TOL = 1e-12
+
+#: Bit flagging a DP tier code as "store compressed on that tier".  The
+#: codes are planner-internal — :func:`joint_schedule` lowers them to
+#: the shared slot alphabet's compressed band on emission.
+_ZIP_FLAG = 1 << 8
+
+
+def _zip_tier(tier: int) -> int:
+    """DP code for the compressed variant of a storage tier."""
+    return tier | _ZIP_FLAG
+
+
+def _tier_store(code: int) -> int:
+    """Storage tier of a DP tier code (compression bit stripped)."""
+    return code & ~_ZIP_FLAG
+
+
+def _tier_zipped(code: int) -> bool:
+    """Whether a DP tier code carries the compression bit."""
+    return bool(code & _ZIP_FLAG)
 
 
 def _default_disk() -> "StorageProfile":
@@ -110,6 +148,9 @@ class JointObjective:
     """
 
     label: str = "?"
+    #: optional codec; setting it doubles :attr:`paged_tiers` with
+    #: compressed variants (see the module docstring)
+    codec: "CompressionModel | None" = None
 
     def __init__(self, spec: ChainSpec) -> None:
         self.spec = spec
@@ -134,8 +175,16 @@ class JointObjective:
     # -- shared -----------------------------------------------------------
     @property
     def paged_tiers(self) -> tuple[int, ...]:
-        """Tiers the planner may page to (RAM is always implicit)."""
-        return (TIER_DISK,)
+        """Tier codes the planner may page to (RAM is always implicit).
+
+        Plain tiers come first so that, on exact ties, the DP's
+        strict-improvement rule keeps the uncompressed variant — the
+        lossless-collapse guarantee.
+        """
+        base = (TIER_DISK,)
+        if self.codec is None:
+            return base
+        return base + tuple(_zip_tier(t) for t in base)
 
     def advance_cost(self, i: int, j: int) -> float:
         """Objective cost of advancing the cursor from ``x_i`` to ``x_j``."""
@@ -163,21 +212,31 @@ class UnitCostObjective(JointObjective):
         spec: ChainSpec,
         write_cost: float = 1.0,
         read_cost: float = 1.0,
+        codec: "CompressionModel | None" = None,
     ) -> None:
         if write_cost < 0 or read_cost < 0:
             raise PlanningError("paging costs must be non-negative")
         self._write = write_cost
         self._read = read_cost
+        self.codec = codec
         self.label = f"unit(w={write_cost:g},r={read_cost:g})"
+        if codec is not None:
+            self.label = f"unit(w={write_cost:g},r={read_cost:g},zip={codec.name})"
         super().__init__(spec)
 
     def step_cost(self, k: int) -> float:
         return self.spec.fwd_cost[k - 1]
 
     def write_cost(self, tier: int, index: int) -> float:
+        # Abstract units are byte-proportional: a compressed page moves
+        # ``ratio`` of the bytes, codec CPU is free in this currency.
+        if _tier_zipped(tier):
+            return self._write * self.codec.ratio
         return 0.0 if tier == TIER_RAM else self._write
 
     def read_cost(self, tier: int, index: int) -> float:
+        if _tier_zipped(tier):
+            return self._read * self.codec.ratio
         return 0.0 if tier == TIER_RAM else self._read
 
 
@@ -197,26 +256,44 @@ class TimeObjective(JointObjective):
         spec: ChainSpec,
         disk: "StorageProfile | None" = None,
         unit_seconds: float = 1.0,
+        codec: "CompressionModel | None" = None,
     ) -> None:
         if unit_seconds <= 0:
             raise PlanningError("unit_seconds must be positive")
         self.disk = disk if disk is not None else _default_disk()
         self.unit_seconds = unit_seconds
+        self.codec = codec
         self.label = f"time({self.disk.name})"
+        if codec is not None:
+            self.label = f"time({self.disk.name}+{codec.name})"
         super().__init__(spec)
 
     def step_cost(self, k: int) -> float:
         return self.spec.fwd_cost[k - 1] * self.unit_seconds
 
     def write_cost(self, tier: int, index: int) -> float:
+        raw = self.spec.act_bytes[index]
+        if _tier_zipped(tier):
+            # Same accounting CompressedBackend charges when executing:
+            # the shrunk payload through the storage path plus the codec.
+            return (
+                self.disk.write_seconds(self.codec.compressed_bytes(raw))
+                + self.codec.compress_seconds(raw)
+            )
         if tier == TIER_RAM:
             return 0.0
-        return self.disk.write_seconds(self.spec.act_bytes[index])
+        return self.disk.write_seconds(raw)
 
     def read_cost(self, tier: int, index: int) -> float:
+        raw = self.spec.act_bytes[index]
+        if _tier_zipped(tier):
+            return (
+                self.disk.read_seconds(self.codec.compressed_bytes(raw))
+                + self.codec.decompress_seconds(raw)
+            )
         if tier == TIER_RAM:
             return 0.0
-        return self.disk.read_seconds(self.spec.act_bytes[index])
+        return self.disk.read_seconds(raw)
 
 
 class EnergyObjective(JointObjective):
@@ -237,6 +314,7 @@ class EnergyObjective(JointObjective):
         disk: "StorageProfile | None" = None,
         compute_j_per_unit: float | None = None,
         io_w: float | None = None,
+        codec: "CompressionModel | None" = None,
     ) -> None:
         from ..edge.power import EnergyModel
 
@@ -250,21 +328,41 @@ class EnergyObjective(JointObjective):
         self.disk = disk if disk is not None else _default_disk()
         self.compute_j_per_unit = compute_j_per_unit
         self.io_w = io_w
+        self.codec = codec
         self.label = f"energy({self.disk.name})"
+        if codec is not None:
+            self.label = f"energy({self.disk.name}+{codec.name})"
         super().__init__(spec)
 
     def step_cost(self, k: int) -> float:
         return self.spec.fwd_cost[k - 1] * self.compute_j_per_unit
 
     def write_cost(self, tier: int, index: int) -> float:
+        raw = self.spec.act_bytes[index]
+        if _tier_zipped(tier):
+            # The rail stays awake through the storage transfer *and*
+            # the codec pass (the codec runs on-node, same duty-cycle
+            # framing as the I/O itself).
+            seconds = (
+                self.disk.write_seconds(self.codec.compressed_bytes(raw))
+                + self.codec.compress_seconds(raw)
+            )
+            return self.io_w * seconds
         if tier == TIER_RAM:
             return 0.0
-        return self.io_w * self.disk.write_seconds(self.spec.act_bytes[index])
+        return self.io_w * self.disk.write_seconds(raw)
 
     def read_cost(self, tier: int, index: int) -> float:
+        raw = self.spec.act_bytes[index]
+        if _tier_zipped(tier):
+            seconds = (
+                self.disk.read_seconds(self.codec.compressed_bytes(raw))
+                + self.codec.decompress_seconds(raw)
+            )
+            return self.io_w * seconds
         if tier == TIER_RAM:
             return 0.0
-        return self.io_w * self.disk.read_seconds(self.spec.act_bytes[index])
+        return self.io_w * self.disk.read_seconds(raw)
 
 
 # ---------------------------------------------------------------------------
@@ -276,12 +374,15 @@ class EnergyObjective(JointObjective):
 class JointPlan:
     """Outcome of :func:`joint_plan`.
 
-    ``splits`` lists ``(position, tier)`` pairs in ascending position
-    order — including ``(0, t)`` for the chain input when the plan pages
-    at all; an empty tuple means pure in-RAM Revolve.  ``cost`` is in
-    the objective's units and is exactly what executing the emitted
-    schedule on a matching :class:`~repro.engine.tiered.TieredBackend`
-    measures (pure advances priced per step plus every paged transfer).
+    ``splits`` lists ``(position, tier code)`` pairs in ascending
+    position order — including ``(0, t)`` for the chain input when the
+    plan pages at all; an empty tuple means pure in-RAM Revolve.  A tier
+    code is the storage tier, optionally flagged compressed (codec-armed
+    objectives only).  ``cost`` is in the objective's units and is
+    exactly what executing the emitted schedule on a matching
+    :class:`~repro.engine.tiered.TieredBackend` (or
+    :class:`~repro.engine.compressed.CompressedBackend`) measures (pure
+    advances priced per step plus every paged transfer).
     """
 
     objective: str
@@ -296,7 +397,13 @@ class JointPlan:
 
     @property
     def tiers_used(self) -> tuple[int, ...]:
-        return tuple(sorted({t for _, t in self.splits}))
+        """Storage tiers paged to (compression bit stripped)."""
+        return tuple(sorted({_tier_store(t) for _, t in self.splits}))
+
+    @property
+    def compressed_splits(self) -> int:
+        """How many splits are stored through the codec."""
+        return sum(1 for _, t in self.splits if _tier_zipped(t))
 
 
 class _InnerRevolve:
@@ -425,11 +532,14 @@ def joint_schedule(
 
     Paged checkpoints use the shared tier-aware slot alphabet
     (:func:`~repro.checkpointing.actions.tier_slot` — split ``i`` on
-    tier ``t`` lives in slot ``t·stride + i``); RAM slots stay
-    ``0 .. c-1`` with slot 0 parking the active segment's base, exactly
-    the disk-revolve layout.  Executing it on a
-    :class:`~repro.engine.tiered.TieredBackend` whose profiles match the
-    objective reproduces the planned cost measurement-for-measurement.
+    tier ``t`` lives in slot ``t·stride + i``, compressed splits in the
+    compressed band on top); RAM slots stay ``0 .. c-1`` with slot 0
+    parking the active segment's base, exactly the disk-revolve layout.
+    Executing it on a :class:`~repro.engine.tiered.TieredBackend` (or,
+    for codec-armed objectives, a
+    :class:`~repro.engine.compressed.CompressedBackend`) whose profiles
+    match the objective reproduces the planned cost
+    measurement-for-measurement.
     """
     if c < 1:
         raise ScheduleError("slot count must be >= 1")
@@ -462,7 +572,15 @@ def joint_schedule(
 
     positions = [p for p, _ in splits]
     seg_ends = positions[1:] + [l]
-    paged_slots = [tier_slot(t, i) for i, (_, t) in enumerate(splits)]
+    # Lower DP tier codes to the shared slot alphabet: split i on tier t
+    # lives in slot t·stride + i, pushed into the compressed band when
+    # the planner chose the codec variant.
+    paged_slots = [
+        compressed_slot(tier_slot(_tier_store(t), i))
+        if _tier_zipped(t)
+        else tier_slot(_tier_store(t), i)
+        for i, (_, t) in enumerate(splits)
+    ]
 
     # Forward phase: page x_0 and every split point out.
     actions.append(snapshot(paged_slots[0]))

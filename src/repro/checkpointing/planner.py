@@ -36,12 +36,13 @@ from .revolve import extra_forwards, min_slots_for_extra
 from .strategies import available_strategies, get_strategy, rho_from_extra
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..edge.storage import StorageProfile
+    from ..edge.storage import CompressionModel, StorageProfile
 
 __all__ = [
     "PlanPoint",
     "TrainingPlan",
     "FrontierPoint",
+    "CompressedFrontierPoint",
     "rho_for_slots",
     "slots_for_rho",
     "slots_for_rhos",
@@ -52,6 +53,7 @@ __all__ = [
     "plan_training",
     "compare_strategies",
     "joint_frontier",
+    "compressed_frontier",
 ]
 
 
@@ -377,6 +379,144 @@ def joint_frontier(
                 peak_disk_bytes=dsk.peak_bytes,
                 disk_writes=dsk.writes,
                 disk_reads=dsk.reads,
+                transfer_seconds=stats.transfer_seconds,
+                wall_seconds=compute * unit_seconds + stats.transfer_seconds,
+                energy_joules=compute * eobj.compute_j_per_unit
+                + eobj.io_w * stats.transfer_seconds,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class CompressedFrontierPoint:
+    """One strategy's *measured* position on the compression-aware
+    frontier: peak bytes × wall time × gradient fidelity, produced by
+    executing its schedule on a tiered / compressed backend."""
+
+    strategy: str
+    codec: str
+    slots: int
+    extra_forwards: int
+    peak_bytes: int
+    peak_memory_bytes: int
+    peak_disk_bytes: int
+    bytes_saved: int
+    fidelity_loss: float
+    transfer_seconds: float
+    wall_seconds: float
+    energy_joules: float
+
+
+def compressed_frontier(
+    spec: ChainSpec,
+    c: int,
+    disk: "StorageProfile | None" = None,
+    *,
+    codec: "CompressionModel | None" = None,
+    unit_seconds: float = 1.0,
+    compute_j_per_unit: float | None = None,
+    io_w: float | None = None,
+) -> list[CompressedFrontierPoint]:
+    """Execute the pure, paged and compressed families on one device and
+    measure them on a common (peak bytes, wall, fidelity) scale.
+
+    Four points: ``revolve`` (everything raw in RAM, the Figure-1
+    baseline), ``revolve_zip`` (the same binomial pattern with every
+    checkpoint run through ``codec``), ``joint_time`` (recompute vs
+    page-to-disk DP) and ``joint_zip`` (the full three-action DP:
+    recompute vs page vs page-compressed).  The compressed revolve
+    variant is granted the slot count that fits the *same RAM byte
+    envelope* as the baseline's ``c`` raw slots —
+    ``floor(c / ratio)`` — which is the compression lever's entire
+    point: ratio-scaled checkpoints buy extra slots, extra slots buy
+    off recomputation, and whether that wins on wall time once codec
+    seconds are charged is measured, not assumed.  Under the identity
+    codec every compressed point collapses onto its pure family.
+
+    Defaults: SD-card storage and the BitTrain-like sparsity model
+    (``ratio`` 0.28, lossless).  ``fidelity_loss`` carries the codec's
+    declared gradient-fidelity bound into the frontier so lossy codecs
+    (e.g. fp16 casting) are a third lever, not a free win.
+    """
+    if c < 1:
+        raise PlanningError("slot budget must be >= 1")
+    from ..engine.compressed import CompressedBackend
+    from ..engine.tiered import TieredBackend
+    from ..engine.vm import execute
+    from .joint import EnergyObjective, TimeObjective, joint_schedule
+    from .revolve import revolve_schedule
+    from .strategies import compressed_variant
+
+    if disk is None:
+        from ..edge.storage import SD_CARD
+
+        disk = SD_CARD
+    if codec is None:
+        from ..edge.storage import BITTRAIN_SPARSE
+
+        codec = BITTRAIN_SPARSE
+    l = spec.length
+    cap = max(1, l - 1)
+    c_eff = min(c, cap)
+    tobj = TimeObjective(spec, disk=disk, unit_seconds=unit_seconds)
+    zobj = TimeObjective(spec, disk=disk, unit_seconds=unit_seconds, codec=codec)
+    # Energy pricing only (rail wattage + J/unit defaults).
+    eobj = EnergyObjective(
+        spec, disk=disk, compute_j_per_unit=compute_j_per_unit, io_w=io_w
+    )
+
+    base_stats = execute(revolve_schedule(l, c_eff), TieredBackend(spec, disk=disk))
+    envelope = base_stats.tier("memory").peak_bytes
+    # The byte envelope is measured, not derived: real chains carry a
+    # small input activation, so ``floor(c / ratio)`` overshoots — walk
+    # down from it until the compressed run fits under revolve's peak.
+    c_zip = min(cap, max(c_eff, int(c_eff / codec.ratio)))
+    zip_stats = execute(
+        compressed_variant(revolve_schedule(l, c_zip), "revolve_zip"),
+        CompressedBackend(spec, codec, disk=disk),
+    )
+    while c_zip > c_eff and zip_stats.tier("memory").peak_bytes > envelope:
+        c_zip -= 1
+        zip_stats = execute(
+            compressed_variant(revolve_schedule(l, c_zip), "revolve_zip"),
+            CompressedBackend(spec, codec, disk=disk),
+        )
+
+    runs = (
+        ("revolve", c_eff, base_stats),
+        ("revolve_zip", c_zip, zip_stats),
+        (
+            "joint_time",
+            c,
+            execute(joint_schedule(spec, c, tobj), TieredBackend(spec, disk=disk)),
+        ),
+        (
+            "joint_zip",
+            c,
+            execute(
+                joint_schedule(spec, c, zobj, family="joint_zip"),
+                CompressedBackend(spec, codec, disk=disk),
+            ),
+        ),
+    )
+    points: list[CompressedFrontierPoint] = []
+    for name, slots, stats in runs:
+        compute = stats.forward_cost + stats.replay_cost + stats.backward_cost
+        mem = stats.tier("memory")
+        dsk = stats.tier("disk")
+        z = stats.compression
+        points.append(
+            CompressedFrontierPoint(
+                strategy=name,
+                codec=z.codec if z is not None else "none",
+                slots=slots,
+                extra_forwards=stats.forward_steps - (l - 1),
+                peak_bytes=stats.peak_bytes,
+                peak_memory_bytes=mem.peak_bytes,
+                peak_disk_bytes=dsk.peak_bytes,
+                bytes_saved=z.bytes_saved if z is not None else 0,
+                fidelity_loss=z.fidelity_loss if z is not None else 0.0,
                 transfer_seconds=stats.transfer_seconds,
                 wall_seconds=compute * unit_seconds + stats.transfer_seconds,
                 energy_joules=compute * eobj.compute_j_per_unit

@@ -10,9 +10,11 @@ locally.  This module makes a strategy a first-class object:
   ``build_schedule(l, c)``, ``extra_forwards(l, c)``, ``peak_slots(l, c)``,
   ``feasible(l, slot_budget)`` and ``rho(l, c, bwd_ratio)``;
 * a process-wide registry (:func:`register`, :func:`get_strategy`,
-  :func:`available_strategies`) holding the seven built-in families:
+  :func:`available_strategies`) holding the built-in families:
   ``revolve``, ``uniform``, ``sqrt``, ``store_all``, ``hetero``,
-  ``budget`` and ``disk_revolve``;
+  ``budget``, ``disk_revolve``, the joint remat+paging planners
+  (``joint_time``, ``joint_energy``) and the compressed variants
+  (``revolve_zip``, ``joint_zip``);
 * a memoized schedule/stats cache keyed by ``(strategy, l, c)`` whose
   hit/miss counts live on the shared :mod:`repro.obs` metrics registry
   (:func:`schedule_cache_info` stays as the reading facade), so
@@ -52,6 +54,7 @@ from typing import TYPE_CHECKING
 
 from ..errors import PlanningError
 from ..obs import get_metrics, get_tracer
+from .actions import Action, ActionKind, compressed_slot
 from .chainspec import ChainSpec
 from .dynprog import budget_schedule, hetero_schedule
 from .joint import UnitCostObjective, joint_schedule
@@ -79,6 +82,7 @@ __all__ = [
     "resolve_strategy_name",
     "rho_from_extra",
     "uniform_rho",
+    "compressed_variant",
     "CacheInfo",
     "ProgramCacheInfo",
     "schedule_cache_info",
@@ -634,6 +638,54 @@ class DiskRevolveStrategy(CheckpointStrategy):
         return disk_revolve_schedule(l, c, self.write_cost, self.read_cost)
 
 
+_SLOT_KINDS = (ActionKind.SNAPSHOT, ActionKind.RESTORE, ActionKind.FREE)
+
+
+def compressed_variant(base: Schedule, family: str) -> Schedule:
+    """Rewrite every slot-touching action into the compressed band.
+
+    The action *structure* is untouched — same recompute pattern, same
+    peak slot count — only the how-stored flag changes, so the variant
+    inherits the base family's closed forms.  The declared budget is
+    inflated past the banded ids, the same convention ``disk_revolve``
+    and ``joint`` use for their tier bands.
+    """
+    actions = tuple(
+        Action(a.kind, compressed_slot(a.arg)) if a.kind in _SLOT_KINDS else a
+        for a in base.actions
+    )
+    max_slot = max(
+        (a.arg for a in actions if a.kind in _SLOT_KINDS), default=-1
+    )
+    return Schedule(
+        strategy=family,
+        length=base.length,
+        slots=max(base.slots, max_slot + 1),
+        actions=actions,
+    )
+
+
+class RevolveZipStrategy(CheckpointStrategy):
+    """Revolve with every checkpoint stored through the codec.
+
+    Identical action structure to ``revolve`` — same binomial recompute
+    pattern, same ``extra_forwards`` closed form — but every SNAPSHOT
+    lands in the compressed slot band, so a
+    :class:`~repro.engine.compressed.CompressedBackend` holds
+    ``ratio``-scaled bytes per slot (peak-memory reduction at codec
+    cost) while plain backends execute it as ordinary Revolve.  Under
+    the identity codec the measured bytes collapse to ``revolve``'s.
+    """
+
+    name = "revolve_zip"
+
+    def build_schedule(self, l: int, c: int) -> Schedule:
+        return compressed_variant(revolve_schedule(l, c), self.name)
+
+    def extra_forwards(self, l: int, c: int) -> int:
+        return revolve_extra_forwards(l, c)
+
+
 class JointStrategy(CheckpointStrategy):
     """Joint rematerialization+paging DP over the tiered action alphabet.
 
@@ -665,6 +717,42 @@ class JointStrategy(CheckpointStrategy):
         return joint_schedule(spec, c, objective, family=self.name)
 
 
+class JointZipStrategy(JointStrategy):
+    """Joint DP with compression as the third action per split.
+
+    Arms the unit-cost objective with a codec, doubling the split
+    alphabet: recompute vs page vs page-compressed.  A compressed page
+    moves ``ratio`` of the bytes (BitTrain's sparse-bitmap default), so
+    the plan weakly dominates ``joint_time`` by construction and pages
+    more eagerly; emitted compressed splits use the compressed slot
+    band, executing with codec-priced transfers on a
+    :class:`~repro.engine.compressed.CompressedBackend`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        write_cost: float = 1.0,
+        read_cost: float = 1.0,
+        codec_name: str = "bittrain",
+    ) -> None:
+        super().__init__(name, write_cost, read_cost)
+        self.codec_name = codec_name
+
+    def build_schedule(self, l: int, c: int) -> Schedule:
+        # Lazy: repro.edge imports this package (layering, not a cycle).
+        from ..edge.storage import compression_models
+
+        spec = ChainSpec.homogeneous(l)
+        objective = UnitCostObjective(
+            spec,
+            self.write_cost,
+            self.read_cost,
+            codec=compression_models()[self.codec_name],
+        )
+        return joint_schedule(spec, c, objective, family=self.name)
+
+
 # Registration order is the presentation order everywhere (ablation
 # columns, CLI listing) and keeps compare_strategies' seed key order:
 # revolve, uniform, sqrt, store_all first.
@@ -677,3 +765,5 @@ register(BudgetStrategy(), aliases=("budget_dp",))
 register(DiskRevolveStrategy())
 register(JointStrategy("joint_time"), aliases=("joint",))
 register(JointStrategy("joint_energy", write_cost=0.25, read_cost=0.25))
+register(RevolveZipStrategy())
+register(JointZipStrategy("joint_zip"))

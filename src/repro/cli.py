@@ -165,6 +165,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="sd-card",
         help="disk-tier storage profile (tiered backend)",
     )
+    sp.add_argument(
+        "--compress",
+        choices=("lossless", "bittrain", "fp16"),
+        help="compress checkpoints with this codec (implies the tiered backend)",
+    )
     sp.add_argument("--seed", type=int, default=0, help="net/batch seed (tensor backend)")
     sp.add_argument(
         "--compile",
@@ -537,9 +542,22 @@ def _exec(args: argparse.Namespace) -> str:
     if not strat.feasible(l, c):
         return f"strategy {args.strategy!r} cannot reverse l={l} within {c} slots"
     sch = strat.schedule(l, c)
+    codec = None
+    if args.compress is not None:
+        if args.backend == "tensor":
+            return "--compress applies to the sim/tiered engine backends only"
+        from .checkpointing import COMPRESS_SLOT_BASE, compressed_variant
+        from .edge.storage import compression_models
+
+        codec = compression_models()[args.compress]
+        if all(a.arg < COMPRESS_SLOT_BASE for a in sch.actions):
+            # Lift a plain family's slots into the compressed band so the
+            # codec applies; zip families already carry the flag.
+            sch = compressed_variant(sch, sch.strategy)
+    backend_name = args.backend if codec is None else f"compressed({args.compress})"
     header = (
         f"Engine run: strategy={sch.strategy} l={l} slots={c} "
-        f"backend={args.backend}"
+        f"backend={backend_name}"
     )
 
     if getattr(args, "compile", False):
@@ -607,7 +625,14 @@ def _exec(args: argparse.Namespace) -> str:
 
     spec = ChainSpec.homogeneous(l, act_bytes=int(args.act_kb * KB))
     tracer = obs.get_tracer()
-    if args.backend == "sim":
+    if codec is not None:
+        from .edge.storage import EMMC, SD_CARD
+        from .engine import CompressedBackend
+
+        storage = {"sd-card": SD_CARD, "emmc": EMMC}[args.storage]
+        backend = CompressedBackend(spec, codec, disk=storage)
+        hook = action_span_hook(tracer) if tracer.enabled else None
+    elif args.backend == "sim":
         backend = SimBackend(spec)
         hook = sim_event_hook(tracer) if tracer.enabled else None
     else:
@@ -629,11 +654,20 @@ def _exec(args: argparse.Namespace) -> str:
         for t in run.tiers:
             priced = "" if t.name == "memory" else f" [{args.storage}]"
             lines.append(
-                f"    {t.name:<6} tier: {t.writes} writes / {t.reads} reads "
-                f"({t.bytes_written:,} B out / {t.bytes_read:,} B in), "
-                f"{t.transfer_seconds:.3f} s, peak {t.peak_slots} slots "
-                f"({t.peak_bytes:,} B){priced}"
+                f"    {t.name:<6} tier: "
+                f"write {t.writes} ops / {t.bytes_written:,} B / {t.write_seconds:.3f} s | "
+                f"read {t.reads} ops / {t.bytes_read:,} B / {t.read_seconds:.3f} s | "
+                f"peak {t.peak_slots} slots ({t.peak_bytes:,} B){priced}"
             )
+    if run.compression is not None:
+        z = run.compression
+        lines.append(
+            f"  compression       : {z.codec} (ratio {z.ratio:g}) — "
+            f"{z.compress_calls} compress / {z.decompress_calls} decompress, "
+            f"{z.bytes_saved:,} B saved, codec time {z.codec_seconds:.3f} s"
+        )
+        if z.fidelity_loss:
+            lines.append(f"  fidelity loss     : {z.fidelity_loss:g}")
     return "\n".join(lines)
 
 

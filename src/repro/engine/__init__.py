@@ -9,7 +9,10 @@ and the tiered-storage model — through a pluggable
 * :class:`TensorBackend` — real ``SequentialNet`` forwards/adjoints with
   a live-byte meter;
 * :class:`TieredBackend` — RAM + disk slot tiers priced by
-  :class:`~repro.edge.storage.StorageProfile` read/write paths.
+  :class:`~repro.edge.storage.StorageProfile` read/write paths;
+* :class:`CompressedBackend` — TieredBackend plus a
+  :class:`~repro.edge.storage.CompressionModel` pricing compressed-band
+  slots (smaller stored bytes, codec seconds per transfer).
 
 The VM owns all invariants and emits unified
 :class:`~repro.engine.stats.StepStats` / :class:`~repro.engine.stats.RunStats`;
@@ -20,6 +23,7 @@ wrappers over this engine.
 """
 
 from .backend import Backend, BaseBackend
+from .compressed import CompressedBackend
 from .hooks import action_span_hook, compose, sim_event_hook
 from .program import (
     OP_ADJOINT,
@@ -34,7 +38,7 @@ from .program import (
     program_from_payload,
 )
 from .sim import SimBackend
-from .stats import RunStats, StepStats, TierStats
+from .stats import CompressionStats, RunStats, StepStats, TierStats
 from .tensor import TensorBackend
 from .tiered import TieredBackend
 from .vm import execute
@@ -45,9 +49,11 @@ __all__ = [
     "RunStats",
     "StepStats",
     "TierStats",
+    "CompressionStats",
     "SimBackend",
     "TensorBackend",
     "TieredBackend",
+    "CompressedBackend",
     "CompiledProgram",
     "compile_schedule",
     "decompile",

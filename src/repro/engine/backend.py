@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
-from .stats import TierStats
+from .stats import CompressionStats, TierStats
 
 __all__ = ["Backend", "BaseBackend"]
 
@@ -74,6 +74,10 @@ class Backend(Protocol):
         """Per-storage-tier ledgers (empty for untired backends)."""
         ...
 
+    def compression_stats(self) -> CompressionStats | None:
+        """Codec ledger (``None`` for codec-less backends)."""
+        ...
+
 
 class BaseBackend:
     """Optional convenience base: untired, zero extra bookkeeping."""
@@ -83,3 +87,6 @@ class BaseBackend:
 
     def tier_stats(self) -> tuple[TierStats, ...]:
         return ()
+
+    def compression_stats(self) -> CompressionStats | None:
+        return None

@@ -40,7 +40,12 @@ from functools import cached_property
 
 import numpy as np
 
-from ..checkpointing.actions import Action, ActionKind, tier_of_slot
+from ..checkpointing.actions import (
+    COMPRESS_SLOT_BASE,
+    Action,
+    ActionKind,
+    tier_of_slot,
+)
 from ..checkpointing.schedule import Schedule
 from ..errors import ExecutionError, ScheduleError
 from .stats import RunStats
@@ -185,6 +190,31 @@ class CompiledProgram:
     def paged(self) -> bool:
         """Whether any action touches a slot outside the RAM tier."""
         return any(t != 0 for t, _, _, _ in self.tier_usage)
+
+    @cached_property
+    def compression_usage(self) -> tuple[int, int]:
+        """``(compressed snapshots, compressed restores)`` counts.
+
+        Derived from the arg array's compressed band
+        (:func:`~repro.checkpointing.actions.is_compressed_slot`);
+        :attr:`tier_usage` already folds compressed slots into their
+        storage tier, so this is the orthogonal how-stored summary.
+        """
+        snaps = 0
+        reads = 0
+        for op, arg in zip(self.ops_list, self.args_list):
+            if arg < COMPRESS_SLOT_BASE:
+                continue
+            if op == OP_SNAPSHOT:
+                snaps += 1
+            elif op == OP_RESTORE:
+                reads += 1
+        return (snaps, reads)
+
+    @property
+    def compressed(self) -> bool:
+        """Whether any snapshot is stored through the compressed band."""
+        return self.compression_usage != (0, 0)
 
     # -- content addressing and persistence -----------------------------
     @cached_property
@@ -483,4 +513,5 @@ def run_compiled_sim(program: CompiledProgram, backend) -> RunStats:
         restores=program.restores,
         transfer_seconds=0.0,
         tiers=backend.tier_stats(),
+        compression=backend.compression_stats(),
     )

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from ..checkpointing.actions import ActionKind
 
-__all__ = ["StepStats", "TierStats", "RunStats"]
+__all__ = ["StepStats", "TierStats", "CompressionStats", "RunStats"]
 
 
 @dataclass(frozen=True)
@@ -74,6 +74,37 @@ class TierStats:
 
 
 @dataclass(frozen=True)
+class CompressionStats:
+    """Codec ledger of an executed schedule (compressed backends only).
+
+    ``bytes_saved`` is raw-minus-stored over every compressed SNAPSHOT;
+    ``codec_seconds`` is already folded into the run's
+    ``transfer_seconds`` (a compressed transfer costs storage I/O *plus*
+    the codec pass), it is broken out here for attribution only.
+    ``fidelity_loss`` is the codec's declared per-activation relative
+    gradient error bound — ``0.0`` means every restore was bit-exact.
+    """
+
+    codec: str
+    ratio: float
+    compress_calls: int
+    decompress_calls: int
+    compress_seconds: float
+    decompress_seconds: float
+    bytes_saved: int
+    fidelity_loss: float = 0.0
+
+    @property
+    def codec_seconds(self) -> float:
+        """Total time spent inside the codec (both directions)."""
+        return self.compress_seconds + self.decompress_seconds
+
+    @property
+    def lossless(self) -> bool:
+        return self.fidelity_loss == 0.0
+
+
+@dataclass(frozen=True)
 class RunStats:
     """Aggregate outcome of executing one schedule on one backend."""
 
@@ -101,6 +132,8 @@ class RunStats:
     transfer_seconds: float = 0.0
     #: per-tier breakdown, empty unless the backend is tier-aware
     tiers: tuple[TierStats, ...] = ()
+    #: codec ledger, ``None`` unless the backend is compression-aware
+    compression: CompressionStats | None = None
 
     @property
     def total_time(self) -> float:

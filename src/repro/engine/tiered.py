@@ -37,6 +37,8 @@ class _TierLedger:
     def __init__(self, name: str, profile: "StorageProfile | None") -> None:
         self.name = name
         self.profile = profile
+        #: slot id -> bytes the tier actually holds for it (compressed
+        #: backends store fewer bytes than the activation's raw size)
         self.slots: dict[int, int] = {}
         self.writes = 0
         self.reads = 0
@@ -47,10 +49,10 @@ class _TierLedger:
         self.peak_slots = 0
         self.peak_bytes = 0
 
-    def charge(self, spec: ChainSpec) -> None:
+    def charge(self) -> None:
         if len(self.slots) > self.peak_slots:
             self.peak_slots = len(self.slots)
-        held = sum(spec.act_bytes[i] for i in self.slots.values())
+        held = sum(self.slots.values())
         if held > self.peak_bytes:
             self.peak_bytes = held
 
@@ -98,27 +100,37 @@ class TieredBackend(SimBackend):
             return self._mem if tier_of_slot(slot) == TIER_RAM else self._disk
         return self._disk if slot >= self._base else self._mem
 
+    def _stored_bytes(self, slot: int, index: int) -> int:
+        """Bytes slot ``slot`` holds for activation ``index``.
+
+        The raw activation size here; :class:`CompressedBackend` shrinks
+        it for compressed-band slots.
+        """
+        return self.spec.act_bytes[index]
+
     def snapshot(self, slot: int, index: int) -> float:
         super().snapshot(slot, index)
         tier = self._tier(slot)
-        tier.slots[slot] = index
+        stored = self._stored_bytes(slot, index)
+        tier.slots[slot] = stored
         tier.writes += 1
-        tier.bytes_written += self.spec.act_bytes[index]
+        tier.bytes_written += stored
         cost = 0.0
         if tier.profile is not None:
-            cost = tier.profile.write_seconds(self.spec.act_bytes[index])
+            cost = tier.profile.write_seconds(stored)
             tier.write_seconds += cost
-        tier.charge(self.spec)
+        tier.charge()
         return cost
 
     def restore(self, slot: int, index: int) -> float:
         super().restore(slot, index)
         tier = self._tier(slot)
+        stored = self._stored_bytes(slot, index)
         tier.reads += 1
-        tier.bytes_read += self.spec.act_bytes[index]
+        tier.bytes_read += stored
         cost = 0.0
         if tier.profile is not None:
-            cost = tier.profile.read_seconds(self.spec.act_bytes[index])
+            cost = tier.profile.read_seconds(stored)
             tier.read_seconds += cost
         return cost
 
@@ -126,7 +138,7 @@ class TieredBackend(SimBackend):
         super().free(slot, index)
         tier = self._tier(slot)
         del tier.slots[slot]
-        tier.charge(self.spec)
+        tier.charge()
         return 0.0
 
     def tier_stats(self) -> tuple[TierStats, ...]:

@@ -212,6 +212,7 @@ def execute(
         restores=restores,
         transfer_seconds=transfer_seconds,
         tiers=backend.tier_stats(),
+        compression=backend.compression_stats(),
     )
 
 
@@ -305,4 +306,5 @@ def _execute_compiled(
         restores=program.restores,
         transfer_seconds=transfer_seconds,
         tiers=backend.tier_stats(),
+        compression=backend.compression_stats(),
     )

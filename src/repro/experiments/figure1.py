@@ -16,9 +16,15 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass
 
-from ..checkpointing import ChainSpec, joint_frontier, memory_for_slots, slots_for_rhos
+from ..checkpointing import (
+    ChainSpec,
+    compressed_frontier,
+    joint_frontier,
+    memory_for_slots,
+    slots_for_rhos,
+)
 from ..edge.device import ODROID_XU4
-from ..edge.storage import EMMC, SD_CARD
+from ..edge.storage import EMMC, SD_CARD, compression_models
 from ..graph import homogenize
 from ..lab import Param, UnitDef, experiment
 from ..memory import calibrated_models
@@ -35,6 +41,7 @@ __all__ = [
     "default_rhos",
     "JOINT_STORAGE",
     "figure1_joint_panel",
+    "figure1_compressed_panel",
 ]
 
 #: The paper's four panels: (label, batch size, image size).
@@ -355,6 +362,182 @@ def _figure1_joint_spec(params, inputs):
                 "wall_s": p["wall_seconds"],
                 "energy_j": p["energy_joules"],
                 "extra_forwards": p["extra_forwards"],
+            }
+            for row in rows
+            for name, p in row["strategies"].items()
+        ],
+    }
+
+
+# -- compression-aware frontier ---------------------------------------------
+
+#: The four strategies every compressed-frontier row carries, in order.
+COMPRESSED_FAMILIES = ("revolve", "revolve_zip", "joint_time", "joint_zip")
+
+
+def figure1_compressed_panel(
+    panel: str,
+    storage: str = "sd-card",
+    codec: str = "bittrain",
+    slots: int = 3,
+    depths: tuple[int, ...] = RESNET_DEPTHS,
+) -> list[dict]:
+    """Measured compression-aware frontier for one Figure-1 panel.
+
+    For each LinearResNet depth the four families (pure revolve, codec'd
+    revolve, the paging DP, the full recompute-vs-page-vs-compress DP)
+    are *executed* — compressed ones on a
+    :class:`~repro.engine.compressed.CompressedBackend` — and placed on
+    a common (peak bytes, wall seconds, gradient fidelity) scale.  Each
+    row also names which compressed families Pareto-dominate pure
+    revolve (strictly fewer peak bytes at equal-or-better wall time),
+    the claim :mod:`benchmarks.bench_compression` gates on.
+    """
+    if panel not in PANELS:
+        raise KeyError(f"panel must be one of {sorted(PANELS)}, got {panel!r}")
+    if storage not in JOINT_STORAGE:
+        raise KeyError(f"storage must be one of {sorted(JOINT_STORAGE)}, got {storage!r}")
+    models = compression_models()
+    if codec not in models:
+        raise KeyError(f"codec must be one of {sorted(models)}, got {codec!r}")
+    batch, image = PANELS[panel]
+    profile = JOINT_STORAGE[storage]
+    model = models[codec]
+    unit_seconds = 1.0 / ODROID_XU4.flops_per_s
+    rows = []
+    for depth in depths:
+        spec = _joint_spec(depth, batch, image)
+        points = {
+            p.strategy: p
+            for p in compressed_frontier(
+                spec, slots, profile, codec=model, unit_seconds=unit_seconds
+            )
+        }
+        base = points["revolve"]
+        dominating = [
+            name
+            for name in ("revolve_zip", "joint_zip")
+            if points[name].peak_bytes < base.peak_bytes
+            and points[name].wall_seconds <= base.wall_seconds
+        ]
+        best = min(
+            (points[n] for n in ("revolve_zip", "joint_zip")),
+            key=lambda p: (p.peak_bytes, p.wall_seconds),
+        )
+        rows.append(
+            {
+                "depth": depth,
+                "batch_size": batch,
+                "image_size": image,
+                "storage": storage,
+                "codec": codec,
+                "slots": slots,
+                "strategies": {name: asdict(p) for name, p in points.items()},
+                "dominating": dominating,
+                "peak_margin_bytes": base.peak_bytes - best.peak_bytes,
+                "wall_margin_s": base.wall_seconds - best.wall_seconds,
+            }
+        )
+    return rows
+
+
+def _figure1_compressed_ascii(doc: dict) -> str:
+    head = (
+        f"Figure 1{doc['panel']} compressed frontier: batch {PANELS[doc['panel']][0]}, "
+        f"image {PANELS[doc['panel']][1]}, {doc['storage']}, codec {doc['codec']}, "
+        f"c={doc['slots']}"
+    )
+    lines = [head, "=" * len(head)]
+    lines.append(
+        f"{'model':>16} {'strategy':>12} {'slots':>5} {'extra':>6} "
+        f"{'peak MB':>8} {'wall s':>9} {'fidelity':>9} {'saved MB':>9}"
+    )
+    for row in doc["rows"]:
+        for name in COMPRESSED_FAMILIES:
+            p = row["strategies"][name]
+            mark = " *" if name in row["dominating"] else ""
+            lines.append(
+                f"{'LinearResNet' + str(row['depth']):>16} {name:>12} "
+                f"{p['slots']:>5} {p['extra_forwards']:>6} "
+                f"{p['peak_bytes'] / MB:>8.1f} {p['wall_seconds']:>9.2f} "
+                f"{p['fidelity_loss']:>9.4g} {p['bytes_saved'] / MB:>9.1f}{mark}"
+            )
+        lines.append(
+            f"{'':>16} {'margin':>12} peak {row['peak_margin_bytes'] / MB:+.1f} MB, "
+            f"wall {row['wall_margin_s']:+.2f} s vs pure revolve"
+        )
+    lines.append("* dominates revolve: fewer peak bytes at equal-or-better wall time")
+    return "\n".join(lines) + "\n"
+
+
+def _figure1_compressed_csv(doc: dict) -> str:
+    lines = [
+        "depth,strategy,codec,slots,extra_forwards,peak_bytes,peak_memory_bytes,"
+        "peak_disk_bytes,bytes_saved,fidelity_loss,transfer_s,wall_s,energy_j,dominates"
+    ]
+    for row in doc["rows"]:
+        for name in COMPRESSED_FAMILIES:
+            p = row["strategies"][name]
+            lines.append(
+                f"{row['depth']},{name},{p['codec']},{p['slots']},"
+                f"{p['extra_forwards']},{p['peak_bytes']},{p['peak_memory_bytes']},"
+                f"{p['peak_disk_bytes']},{p['bytes_saved']},{p['fidelity_loss']},"
+                f"{p['transfer_seconds']:.4f},{p['wall_seconds']:.4f},"
+                f"{p['energy_joules']:.4f},{int(name in row['dominating'])}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+@experiment(
+    "figure1_compressed",
+    "Compression-aware frontier: peak bytes x wall time x gradient fidelity",
+    params=(
+        Param("panel", str, default="b", choices=tuple(sorted(PANELS))),
+        Param("storage", str, default="sd-card", choices=tuple(sorted(JOINT_STORAGE))),
+        Param("codec", str, default="bittrain", choices=("bittrain", "fp16", "lossless")),
+        Param("slots", int, default=3),
+    ),
+    renderers={
+        "ascii": _figure1_compressed_ascii,
+        "csv": _figure1_compressed_csv,
+        "json": render_json,
+    },
+    default_units=(
+        UnitDef(
+            {"panel": "b", "storage": "sd-card", "codec": "bittrain", "slots": 3},
+            (
+                ("figure1_compressed_b.txt", "ascii"),
+                ("figure1_compressed_b.csv", "csv"),
+            ),
+        ),
+        # The low-precision ablation: same panel, lossy fp16 casting.
+        UnitDef(
+            {"panel": "b", "storage": "sd-card", "codec": "fp16", "slots": 3},
+            (
+                ("figure1_compressed_b_fp16.txt", "ascii"),
+                ("figure1_compressed_b_fp16.csv", "csv"),
+            ),
+        ),
+    ),
+)
+def _figure1_compressed_spec(params, inputs):
+    rows = figure1_compressed_panel(
+        params["panel"], params["storage"], params["codec"], params["slots"]
+    )
+    return {
+        "panel": params["panel"],
+        "storage": params["storage"],
+        "codec": params["codec"],
+        "slots": params["slots"],
+        "rows": rows,
+        "records": [
+            {
+                "model": f"LinearResNet{row['depth']}",
+                "strategy": name,
+                "peak_bytes": p["peak_bytes"],
+                "wall_s": p["wall_seconds"],
+                "fidelity_loss": p["fidelity_loss"],
+                "dominates": name in row["dominating"],
             }
             for row in rows
             for name, p in row["strategies"].items()
